@@ -1,0 +1,104 @@
+// MICRO — google-benchmark microbenchmarks of the simulation substrate:
+// event-scheduler throughput, queue operations, PID controller updates and
+// a full end-to-end simulation (events per wall-second). These bound how
+// large a parameter sweep the harness can afford.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "control/pid.hpp"
+#include "net/queue.hpp"
+#include "scenario/cc_factories.hpp"
+#include "scenario/wan_path.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace rss;
+using namespace rss::sim::literals;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule_at(sim::Time::nanoseconds(static_cast<std::int64_t>(i % 1000)), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  // The TCP RTO pattern: schedule, cancel, reschedule.
+  for (auto _ : state) {
+    sim::Scheduler s;
+    sim::EventId pending{};
+    for (int i = 0; i < 10000; ++i) {
+      if (pending.valid()) s.cancel(pending);
+      pending = s.schedule_at(sim::Time::nanoseconds(i + 1), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_DropTailQueueEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q{1024};
+  net::Packet p;
+  p.payload_bytes = 1460;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue(p));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DropTailQueueEnqueueDequeue);
+
+void BM_RedQueueEnqueueDequeue(benchmark::State& state) {
+  net::RedQueue q{net::RedQueue::Options{}, sim::Rng{1}};
+  net::Packet p;
+  p.payload_bytes = 1460;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue(p));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RedQueueEnqueueDequeue);
+
+void BM_PidUpdate(benchmark::State& state) {
+  control::PidController pid{control::PidGains{0.12, 0.3, 0.1},
+                             control::OutputLimits{-1.0, 1.0}};
+  double e = 10.0;
+  for (auto _ : state) {
+    e = -e;
+    benchmark::DoNotOptimize(pid.update(e, 1e-3));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PidUpdate);
+
+void BM_FullWanSimulation(benchmark::State& state) {
+  // End-to-end cost of one simulated second of the canonical path under
+  // Restricted Slow-Start (~8.5k data packets + ACKs + timers).
+  for (auto _ : state) {
+    scenario::WanPath::Config cfg;
+    cfg.enable_web100 = false;
+    scenario::WanPath wan{cfg, scenario::make_rss_factory()};
+    wan.run_bulk_transfer(sim::Time::zero(), 1_s);
+    benchmark::DoNotOptimize(wan.sender().bytes_acked());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullWanSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

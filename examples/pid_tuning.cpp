@@ -1,0 +1,76 @@
+// PID tuning walkthrough: reproduces §3 of the paper end to end.
+//
+//  1. Ziegler–Nichols closed-loop tuning against an analytic
+//     integrator-with-dead-time plant (the IFQ in miniature),
+//  2. the same procedure run simulation-in-the-loop against the full TCP
+//     stack on the canonical WAN path,
+//  3. the Åström–Hägglund relay experiment as a cross-check,
+// and prints the resulting (Kc, Tc) and paper-rule gains for each.
+
+#include <cstdio>
+
+#include "control/plant.hpp"
+#include "control/relay_tuner.hpp"
+#include "control/ziegler_nichols.hpp"
+#include "scenario/tuning.hpp"
+
+using namespace rss;
+
+namespace {
+
+void print_result(const char* label, const control::TuningResult& r) {
+  const auto g = r.paper_rule();
+  std::printf("%-34s Kc = %7.3f  Tc = %6.3f s   ->  Kp = %6.3f  Ti = %6.3f s  Td = %6.3f s\n",
+              label, r.kc, r.tc, g.kp, g.ti, g.td);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ziegler-Nichols tuning (paper rule: Kp=0.33Kc, Ti=0.5Tc, Td=0.33Tc)\n\n");
+
+  // 1. Analytic plant: integrator with 0.25 s dead time. Theory predicts
+  //    Kc = pi/(2 K L) ~ 6.28 and Tc = 4 L = 1 s.
+  {
+    const control::ZieglerNicholsTuner tuner;
+    const auto result = tuner.tune([](double kp) {
+      control::IntegratorPlant plant{1.0, 0.25};
+      return control::run_p_control_experiment(plant, kp, 1.0, 60.0, 0.005);
+    });
+    if (result) print_result("analytic integrator+deadtime:", *result);
+  }
+
+  // 2. Simulation in the loop: the real plant is the NIC IFQ driven by the
+  //    full TCP state machine.
+  {
+    scenario::TuneOptions opt;
+    opt.duration = sim::Time::seconds(15);
+    const auto result = scenario::tune_restricted_slow_start(opt);
+    if (result) {
+      print_result("TCP-in-the-loop (WAN path):", *result);
+    } else {
+      std::printf("TCP-in-the-loop: no sustained oscillation found\n");
+    }
+  }
+
+  // 3. Relay cross-check on the analytic plant.
+  {
+    control::RelayTuner::Options opt;
+    opt.relay_amplitude = 1.0;
+    const control::RelayTuner tuner{opt};
+    const auto result = tuner.tune([](const std::function<double(double)>& relay) {
+      control::IntegratorPlant plant{1.0, 0.25};
+      std::vector<control::ResponseSample> resp;
+      double y = 0.0;
+      const double dt = 0.002;
+      for (double t = 0.0; t < 40.0; t += dt) {
+        y = plant.step(relay(1.0 - y), dt);
+        resp.push_back({t + dt, y});
+      }
+      return resp;
+    });
+    if (result) print_result("relay (Astrom-Hagglund) check:", *result);
+  }
+
+  return 0;
+}

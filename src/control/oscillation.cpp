@@ -1,0 +1,91 @@
+#include "control/oscillation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rss::control {
+
+OscillationAnalysis OscillationDetector::analyze(
+    std::span<const ResponseSample> response) const {
+  OscillationAnalysis out;
+  if (response.size() < 8) return out;
+
+  const auto skip = static_cast<std::size_t>(
+      static_cast<double>(response.size()) * opt_.transient_fraction);
+  const auto window = response.subspan(std::min(skip, response.size() - 4));
+
+  double mean = 0.0;
+  double mean_abs = 0.0;
+  for (const auto& s : window) {
+    mean += s.value;
+    mean_abs += std::abs(s.value);
+  }
+  mean /= static_cast<double>(window.size());
+  mean_abs /= static_cast<double>(window.size());
+
+  // Strict local maxima of the deviation-from-mean signal, positive side
+  // only — one peak per oscillation cycle.
+  struct Peak {
+    double t;
+    double amplitude;
+  };
+  std::vector<Peak> peaks;
+  for (std::size_t i = 1; i + 1 < window.size(); ++i) {
+    const double prev = window[i - 1].value - mean;
+    const double cur = window[i].value - mean;
+    const double next = window[i + 1].value - mean;
+    if (cur > 0.0 && cur >= prev && cur > next) {
+      // Merge plateau peaks: if the previous peak is extremely close in
+      // time and amplitude, treat them as one crest.
+      if (!peaks.empty() && window[i].t - peaks.back().t <
+                                1e-9 + 1e-6 * std::abs(peaks.back().t)) {
+        continue;
+      }
+      peaks.push_back({window[i].t, cur});
+    }
+  }
+  out.peak_count = peaks.size();
+
+  if (peaks.size() < opt_.min_peaks) {
+    out.kind = ResponseKind::kFlat;
+    return out;
+  }
+
+  double amp_sum = 0.0;
+  for (const auto& p : peaks) amp_sum += p.amplitude;
+  out.mean_amplitude = amp_sum / static_cast<double>(peaks.size());
+
+  const double floor_amp = std::max(opt_.flat_threshold, opt_.flat_threshold * mean_abs);
+  if (out.mean_amplitude < floor_amp) {
+    out.kind = ResponseKind::kFlat;
+    return out;
+  }
+
+  double period_sum = 0.0;
+  for (std::size_t i = 1; i < peaks.size(); ++i) period_sum += peaks[i].t - peaks[i - 1].t;
+  out.period = period_sum / static_cast<double>(peaks.size() - 1);
+
+  // Geometric mean of successive amplitude ratios: <1 decaying, ~1
+  // sustained, >1 growing. Geometric so one anomalous cycle cannot mask a
+  // consistent trend.
+  double log_ratio_sum = 0.0;
+  std::size_t ratios = 0;
+  for (std::size_t i = 1; i < peaks.size(); ++i) {
+    if (peaks[i - 1].amplitude > 0.0 && peaks[i].amplitude > 0.0) {
+      log_ratio_sum += std::log(peaks[i].amplitude / peaks[i - 1].amplitude);
+      ++ratios;
+    }
+  }
+  out.amplitude_trend = ratios ? std::exp(log_ratio_sum / static_cast<double>(ratios)) : 1.0;
+
+  if (out.amplitude_trend > 1.0 + opt_.amplitude_tolerance) {
+    out.kind = ResponseKind::kGrowing;
+  } else if (out.amplitude_trend < 1.0 - opt_.amplitude_tolerance) {
+    out.kind = ResponseKind::kDamped;
+  } else {
+    out.kind = ResponseKind::kSustained;
+  }
+  return out;
+}
+
+}  // namespace rss::control

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rss::control {
+
+/// One sample of a recorded closed-loop response: (time in seconds, value).
+struct ResponseSample {
+  double t;
+  double value;
+};
+
+/// Classification of a closed-loop response recorded during gain probing.
+enum class ResponseKind {
+  kFlat,       ///< no meaningful excursion from the mean
+  kDamped,     ///< oscillation that decays — gain below critical
+  kSustained,  ///< steady-amplitude oscillation — gain ~ critical (Z-N target)
+  kGrowing,    ///< oscillation that grows — gain above critical
+};
+
+/// What the detector extracted from a response.
+struct OscillationAnalysis {
+  ResponseKind kind{ResponseKind::kFlat};
+  double period{0.0};          ///< mean peak-to-peak spacing (seconds); 0 if < 2 peaks
+  double mean_amplitude{0.0};  ///< mean |peak - signal mean|
+  double amplitude_trend{1.0}; ///< geometric mean of successive peak amplitude ratios
+  std::size_t peak_count{0};
+};
+
+/// Detects sustained oscillation in a recorded response — the measurement
+/// step of the Ziegler–Nichols procedure ("increase gain until sustained
+/// oscillation; measure the period").
+///
+/// Method: discard a leading transient fraction, locate strict local maxima
+/// of the signal relative to its mean, then examine the ratio of successive
+/// peak amplitudes. A geometric-mean ratio within [1-tol, 1+tol] is
+/// "sustained"; below, "damped"; above, "growing". The period is the mean
+/// spacing between consecutive peaks.
+class OscillationDetector {
+ public:
+  struct Options {
+    double transient_fraction{0.3};   ///< fraction of samples skipped as startup transient
+    double amplitude_tolerance{0.25}; ///< sustained iff trend ∈ [1-tol, 1+tol]
+    double flat_threshold{1e-9};      ///< amplitudes below this (relative to mean |value|) are flat
+    std::size_t min_peaks{3};         ///< need at least this many peaks to classify oscillation
+  };
+
+  OscillationDetector() = default;
+  explicit OscillationDetector(Options opt) : opt_{opt} {}
+
+  [[nodiscard]] OscillationAnalysis analyze(std::span<const ResponseSample> response) const;
+
+ private:
+  Options opt_{};
+};
+
+}  // namespace rss::control

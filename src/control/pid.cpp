@@ -1,0 +1,57 @@
+#include "control/pid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rss::control {
+
+double PidController::update(double error, double dt, bool allow_integration) {
+  if (dt <= 0.0) throw std::invalid_argument("PidController::update: dt must be > 0");
+
+  // Derivative of error through a first-order low-pass with time constant
+  // Td/N. With last_error_ unset (first sample) the derivative is zero: a
+  // controller must not kick on its first observation.
+  double derivative = 0.0;
+  if (gains_.has_derivative() && last_error_) {
+    const double raw = (error - *last_error_) / dt;
+    const double tf = gains_.td / filter_n_;
+    const double alpha = dt / (tf + dt);  // in (0,1]; alpha→1 as filter vanishes
+    derivative_state_ += alpha * (raw - derivative_state_);
+    derivative = derivative_state_;
+  }
+
+  // Backward-Euler integral candidate; committed only if anti-windup
+  // allows. Rectangle-of-current-error rather than trapezoid on purpose:
+  // with event-driven sampling a single enormous previous error (e.g. the
+  // first sample after a saturation episode) would otherwise contribute a
+  // poisoned half-slice that pins the output to the rail for many samples.
+  double integral_candidate = integral_;
+  if (gains_.has_integral()) integral_candidate += error * dt;
+
+  const double p_term = error;
+  const double i_term = gains_.has_integral() ? integral_candidate / gains_.ti : 0.0;
+  const double d_term = gains_.has_derivative() ? gains_.td * derivative : 0.0;
+  const double unsaturated = gains_.kp * (p_term + i_term + d_term);
+  const double saturated = std::clamp(unsaturated, limits_.min, limits_.max);
+
+  // Conditional integration: accept the new integral unless we are pinned
+  // at a limit and the error would wind us further into it, or the caller
+  // separated the integral for this sample.
+  const bool winding_up = (saturated >= limits_.max && error > 0.0) ||
+                          (saturated <= limits_.min && error < 0.0);
+  if (gains_.has_integral() && allow_integration && !winding_up)
+    integral_ = integral_candidate;
+
+  last_error_ = error;
+  last_output_ = saturated;
+  return saturated;
+}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  derivative_state_ = 0.0;
+  last_error_.reset();
+  last_output_ = 0.0;
+}
+
+}  // namespace rss::control

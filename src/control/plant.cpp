@@ -1,0 +1,113 @@
+#include "control/plant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rss::control {
+namespace {
+
+/// Advance a (remaining_delay, value) FIFO by dt and return the value that
+/// is currently emerging from the dead-time line.
+template <typename Deque>
+double advance_delay_line(Deque& line, double& current, double u, double dead_time,
+                          double dt) {
+  if (dead_time <= 0.0) {
+    current = u;
+    return current;
+  }
+  line.push_back({dead_time, u});
+  for (auto& e : line) e.remaining -= dt;
+  while (!line.empty() && line.front().remaining <= 0.0) {
+    current = line.front().value;
+    line.pop_front();
+  }
+  return current;
+}
+
+}  // namespace
+
+FirstOrderPlant::FirstOrderPlant(double gain, double tau, double dead_time, double)
+    : k_{gain}, tau_{tau}, dead_time_{dead_time} {
+  if (tau <= 0.0) throw std::invalid_argument("FirstOrderPlant: tau must be > 0");
+  if (dead_time < 0.0) throw std::invalid_argument("FirstOrderPlant: negative dead time");
+}
+
+double FirstOrderPlant::delayed_input(double u, double dt) {
+  return advance_delay_line(delay_line_, current_delayed_, u, dead_time_, dt);
+}
+
+double FirstOrderPlant::step(double u, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("Plant::step: dt must be > 0");
+  const double ud = delayed_input(u, dt);
+  // Exact discretization of the first-order lag over the step (exponential
+  // integrator) — stable for any dt, unlike forward Euler.
+  const double alpha = 1.0 - std::exp(-dt / tau_);
+  y_ += alpha * (k_ * ud - y_);
+  return y_;
+}
+
+void FirstOrderPlant::reset() {
+  y_ = 0.0;
+  delay_line_.clear();
+  current_delayed_ = 0.0;
+}
+
+IntegratorPlant::IntegratorPlant(double gain, double dead_time, double y_min, double y_max)
+    : k_{gain}, dead_time_{dead_time}, y_min_{y_min}, y_max_{y_max} {
+  if (dead_time < 0.0) throw std::invalid_argument("IntegratorPlant: negative dead time");
+  if (y_min >= y_max) throw std::invalid_argument("IntegratorPlant: empty saturation range");
+}
+
+double IntegratorPlant::step(double u, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("Plant::step: dt must be > 0");
+  const double ud = advance_delay_line(delay_line_, current_delayed_, u, dead_time_, dt);
+  y_ = std::clamp(y_ + k_ * ud * dt, y_min_, y_max_);
+  return y_;
+}
+
+void IntegratorPlant::reset() {
+  y_ = 0.0;
+  delay_line_.clear();
+  current_delayed_ = 0.0;
+}
+
+SecondOrderPlant::SecondOrderPlant(double gain, double natural_freq, double damping)
+    : k_{gain}, omega_{natural_freq}, zeta_{damping} {
+  if (natural_freq <= 0.0) throw std::invalid_argument("SecondOrderPlant: omega must be > 0");
+}
+
+double SecondOrderPlant::step(double u, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("Plant::step: dt must be > 0");
+  // Semi-implicit Euler: update velocity from current position, then
+  // position from new velocity. Symplectic, so the oscillation amplitude of
+  // the undamped case is preserved instead of numerically growing.
+  const double accel = k_ * omega_ * omega_ * u - 2.0 * zeta_ * omega_ * v_ - omega_ * omega_ * y_;
+  v_ += accel * dt;
+  y_ += v_ * dt;
+  return y_;
+}
+
+void SecondOrderPlant::reset() {
+  y_ = 0.0;
+  v_ = 0.0;
+}
+
+std::vector<ResponseSample> run_p_control_experiment(Plant& plant, double kp,
+                                                     double setpoint, double duration,
+                                                     double dt) {
+  if (dt <= 0.0 || duration <= 0.0)
+    throw std::invalid_argument("run_p_control_experiment: bad timing");
+  plant.reset();
+  std::vector<ResponseSample> response;
+  response.reserve(static_cast<std::size_t>(duration / dt) + 1);
+  double y = plant.output();
+  for (double t = 0.0; t < duration; t += dt) {
+    const double u = kp * (setpoint - y);
+    y = plant.step(u, dt);
+    response.push_back({t + dt, y});
+  }
+  return response;
+}
+
+}  // namespace rss::control

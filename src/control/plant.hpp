@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "control/oscillation.hpp"
+
+namespace rss::control {
+
+/// Analytic plant models, fixed-step integrated, used to (a) verify the PID
+/// and the tuners against control-theory closed forms and (b) provide a
+/// fast offline stand-in for the IFQ when pre-tuning RSS gains.
+///
+/// All plants expose the same shape: step(u, dt) -> y.
+class Plant {
+ public:
+  virtual ~Plant() = default;
+  /// Advance the plant by dt seconds under actuation u; returns the new
+  /// process-variable value.
+  virtual double step(double u, double dt) = 0;
+  [[nodiscard]] virtual double output() const = 0;
+  virtual void reset() = 0;
+};
+
+/// First-order lag with dead time:  tau·dy/dt + y = K·u(t - L).
+/// A P-only loop around this plant is destabilizable iff L > 0 — the test
+/// suite uses that boundary to exercise the tuner's "no result" path.
+class FirstOrderPlant final : public Plant {
+ public:
+  FirstOrderPlant(double gain, double tau, double dead_time = 0.0, double dt_hint = 1e-3);
+
+  double step(double u, double dt) override;
+  [[nodiscard]] double output() const override { return y_; }
+  void reset() override;
+
+  [[nodiscard]] double gain() const { return k_; }
+  [[nodiscard]] double tau() const { return tau_; }
+  [[nodiscard]] double dead_time() const { return dead_time_; }
+
+ private:
+  double delayed_input(double u, double dt);
+  double k_;
+  double tau_;
+  double dead_time_;
+  double y_{0.0};
+  // Dead-time as a FIFO of (remaining_delay, value) pairs.
+  struct DelayedValue {
+    double remaining;
+    double value;
+  };
+  std::deque<DelayedValue> delay_line_;
+  double current_delayed_{0.0};
+};
+
+/// Integrator with dead time:  dy/dt = K·u(t - L).  This is the IFQ in
+/// miniature — queue occupancy integrates (arrival rate − drain rate), and
+/// the feedback path (ACK clock) contributes an RTT of dead time. A P-only
+/// loop oscillates for any gain above 0 when L > 0, exactly the sustained
+/// oscillation Ziegler–Nichols needs. Optional saturation models the finite
+/// queue.
+class IntegratorPlant final : public Plant {
+ public:
+  IntegratorPlant(double gain, double dead_time = 0.0, double y_min = -1e18,
+                  double y_max = 1e18);
+
+  double step(double u, double dt) override;
+  [[nodiscard]] double output() const override { return y_; }
+  void reset() override;
+
+ private:
+  double k_;
+  double dead_time_;
+  double y_min_, y_max_;
+  double y_{0.0};
+  struct DelayedValue {
+    double remaining;
+    double value;
+  };
+  std::deque<DelayedValue> delay_line_;
+  double current_delayed_{0.0};
+};
+
+/// Underdamped second-order plant:  y'' + 2ζω y' + ω² y = K ω² u.
+/// Used to validate the oscillation detector's damped/growing taxonomy with
+/// a system whose envelope is known in closed form.
+class SecondOrderPlant final : public Plant {
+ public:
+  SecondOrderPlant(double gain, double natural_freq, double damping);
+
+  double step(double u, double dt) override;
+  [[nodiscard]] double output() const override { return y_; }
+  void reset() override;
+
+ private:
+  double k_;
+  double omega_;
+  double zeta_;
+  double y_{0.0};
+  double v_{0.0};
+};
+
+/// Run a unity-feedback P-control loop around `plant` toward `setpoint`
+/// for `duration` seconds at step `dt`, recording the PV. The workhorse
+/// "experiment" for tuner tests.
+[[nodiscard]] std::vector<ResponseSample> run_p_control_experiment(
+    Plant& plant, double kp, double setpoint, double duration, double dt);
+
+}  // namespace rss::control

@@ -1,0 +1,36 @@
+#include "control/relay_tuner.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rss::control {
+
+std::optional<TuningResult> RelayTuner::tune(const Experiment& experiment) const {
+  // State of the relay lives across calls within one experiment run.
+  double state = opt_.relay_amplitude;  // start pushing up
+  auto relay = [this, state](double error) mutable {
+    // Schmitt-trigger switching: flip only when the error leaves the
+    // hysteresis band, so measurement noise cannot chatter the relay.
+    if (error > opt_.hysteresis) {
+      state = opt_.relay_amplitude;
+    } else if (error < -opt_.hysteresis) {
+      state = -opt_.relay_amplitude;
+    }
+    return opt_.output_bias + state;
+  };
+
+  const auto response = experiment(relay);
+  const OscillationDetector detector{opt_.detector};
+  const auto analysis = detector.analyze(response);
+
+  if (analysis.kind != ResponseKind::kSustained && analysis.kind != ResponseKind::kGrowing)
+    return std::nullopt;
+  if (analysis.period <= 0.0 || analysis.mean_amplitude <= 0.0) return std::nullopt;
+
+  // Describing-function result for an ideal relay driving a limit cycle.
+  const double kc =
+      4.0 * opt_.relay_amplitude / (std::numbers::pi * analysis.mean_amplitude);
+  return TuningResult{kc, analysis.period};
+}
+
+}  // namespace rss::control

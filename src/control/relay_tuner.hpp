@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "control/oscillation.hpp"
+#include "control/ziegler_nichols.hpp"
+
+namespace rss::control {
+
+/// Åström–Hägglund relay (auto-tuning) experiment — the modern, safer
+/// alternative to the gain ramp: instead of pushing the loop to the edge of
+/// instability, drive it with a bang-bang relay and read the induced limit
+/// cycle. Included because the paper's Z-N procedure is manual and fragile;
+/// this gives the library a production-grade tuning path and an ablation
+/// point (EXT-ZN).
+///
+///   Kc = 4·d / (π·a),  Tc = limit-cycle period
+///
+/// where d is the relay amplitude and a the process-variable oscillation
+/// amplitude.
+class RelayTuner {
+ public:
+  struct Options {
+    double relay_amplitude{1.0};  ///< d: output toggles between ±d around bias
+    double output_bias{0.0};
+    double hysteresis{0.0};       ///< switch deadband on the error signal
+    OscillationDetector::Options detector{};
+  };
+
+  /// Closed-loop relay experiment supplied by the caller: it must run the
+  /// plant, calling `relay_output(error)` each step to obtain the actuation,
+  /// and return the recorded PV response.
+  using Experiment =
+      std::function<std::vector<ResponseSample>(const std::function<double(double)>& relay_output)>;
+
+  RelayTuner() = default;
+  explicit RelayTuner(Options opt) : opt_{opt} {}
+
+  [[nodiscard]] std::optional<TuningResult> tune(const Experiment& experiment) const;
+
+ private:
+  Options opt_{};
+};
+
+}  // namespace rss::control

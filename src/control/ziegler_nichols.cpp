@@ -1,0 +1,54 @@
+#include "control/ziegler_nichols.hpp"
+
+#include <cmath>
+
+namespace rss::control {
+
+std::optional<TuningResult> ZieglerNicholsTuner::tune(const Experiment& experiment) const {
+  experiments_run_ = 0;
+  const OscillationDetector detector{opt_.detector};
+
+  auto probe = [&](double kp) {
+    ++experiments_run_;
+    const auto response = experiment(kp);
+    return detector.analyze(response);
+  };
+
+  // Phase 1: geometric ramp until the loop oscillates (sustained or
+  // growing — both mean we have crossed or reached the stability boundary).
+  double kp_low = 0.0;         // largest gain seen NOT oscillating
+  double kp_high = 0.0;        // smallest gain seen oscillating
+  OscillationAnalysis at_high; // analysis at kp_high
+  for (double kp = opt_.kp_initial; kp <= opt_.kp_max; kp *= opt_.growth_factor) {
+    const auto analysis = probe(kp);
+    if (analysis.kind == ResponseKind::kSustained || analysis.kind == ResponseKind::kGrowing) {
+      kp_high = kp;
+      at_high = analysis;
+      break;
+    }
+    kp_low = kp;
+  }
+  if (kp_high == 0.0) return std::nullopt;
+
+  // Phase 2: bisect [kp_low, kp_high] toward the boundary. We keep the
+  // analysis from the smallest oscillating gain — that is the best estimate
+  // of the ultimate point (amplitude trend closest to 1).
+  double kc = kp_high;
+  double tc = at_high.period;
+  for (int i = 0; i < opt_.bisection_steps && kp_low > 0.0; ++i) {
+    const double mid = std::sqrt(kp_low * kp_high);  // geometric midpoint
+    const auto analysis = probe(mid);
+    if (analysis.kind == ResponseKind::kSustained || analysis.kind == ResponseKind::kGrowing) {
+      kp_high = mid;
+      kc = mid;
+      if (analysis.period > 0.0) tc = analysis.period;
+    } else {
+      kp_low = mid;
+    }
+  }
+
+  if (tc <= 0.0) return std::nullopt;
+  return TuningResult{kc, tc};
+}
+
+}  // namespace rss::control

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "control/oscillation.hpp"
+#include "control/pid.hpp"
+
+namespace rss::control {
+
+/// Result of a closed-loop tuning experiment: the critical gain Kc and the
+/// critical (ultimate) period Tc, plus rule-based gain sets derived from
+/// them.
+struct TuningResult {
+  double kc{0.0};
+  double tc{0.0};
+
+  /// The paper's rule (§3): Kp = 0.33 Kc, Ti = 0.5 Tc, Td = 0.33 Tc.
+  [[nodiscard]] PidGains paper_rule() const { return {0.33 * kc, 0.5 * tc, 0.33 * tc}; }
+
+  /// Classic Ziegler–Nichols PID rule for reference/ablation:
+  /// Kp = 0.6 Kc, Ti = 0.5 Tc, Td = 0.125 Tc.
+  [[nodiscard]] PidGains classic_zn_pid() const { return {0.6 * kc, 0.5 * tc, 0.125 * tc}; }
+
+  /// Classic Z-N PI rule: Kp = 0.45 Kc, Ti = Tc / 1.2.
+  [[nodiscard]] PidGains classic_zn_pi() const { return {0.45 * kc, tc / 1.2, 0.0}; }
+};
+
+/// Automates the Ziegler–Nichols closed-loop ("ultimate gain") procedure
+/// from §3 of the paper:
+///
+///   1. run the loop under proportional-only control,
+///   2. increase Kp geometrically until the response shows sustained
+///      oscillation (detected by OscillationDetector),
+///   3. refine by bisection between the largest damped gain and the
+///      smallest oscillating gain,
+///   4. report Kc and the oscillation period Tc.
+///
+/// The experiment itself is caller-supplied: a functor mapping a candidate
+/// proportional gain to the recorded process-variable response. This keeps
+/// the tuner agnostic to whether the plant is an analytic model (tests) or
+/// a full TCP simulation (RssTuner).
+class ZieglerNicholsTuner {
+ public:
+  /// Run the closed loop with P-only gain `kp`; return the PV trajectory.
+  using Experiment = std::function<std::vector<ResponseSample>(double kp)>;
+
+  struct Options {
+    double kp_initial{0.01};
+    double kp_max{1e6};
+    double growth_factor{2.0};   ///< geometric ramp multiplier
+    int bisection_steps{8};      ///< refinement iterations once bracketed
+    OscillationDetector::Options detector{};
+  };
+
+  ZieglerNicholsTuner() = default;
+  explicit ZieglerNicholsTuner(Options opt) : opt_{opt} {}
+
+  /// Returns nullopt if no gain in [kp_initial, kp_max] produces sustained
+  /// or growing oscillation (plant not destabilizable by P action — e.g. a
+  /// pure first-order lag).
+  [[nodiscard]] std::optional<TuningResult> tune(const Experiment& experiment) const;
+
+  /// Number of experiments executed by the last tune() call.
+  [[nodiscard]] int experiments_run() const { return experiments_run_; }
+
+ private:
+  Options opt_{};
+  mutable int experiments_run_{0};
+};
+
+}  // namespace rss::control

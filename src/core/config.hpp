@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/data_rate.hpp"
+#include "sim/time.hpp"
+
+namespace rss::core {
+
+/// Canonical parameters of the paper's testbed (§4): a 100 Mbps path
+/// between Argonne and Lawrence Berkeley with a 60 ms round-trip time, a
+/// Linux 2.4 host whose NIC interface queue (txqueuelen) holds 100 packets,
+/// and 1500-byte Ethernet frames.
+///
+/// Everything that regenerates a paper artifact starts from these values;
+/// sweeps perturb one dimension at a time.
+struct CanonicalPath {
+  net::DataRate nic_rate{net::DataRate::mbps(100)};   ///< host NIC = bottleneck
+  net::DataRate wan_rate{net::DataRate::gbps(1)};     ///< WAN faster than host
+  sim::Time one_way_delay{sim::Time::milliseconds(30)};  ///< RTT = 60 ms
+  std::size_t ifq_capacity_packets{100};              ///< Linux 2.4 txqueuelen
+  std::uint32_t mss{1460};
+
+  [[nodiscard]] sim::Time rtt() const { return one_way_delay * 2; }
+
+  /// Path bandwidth-delay product in packets of (MSS + 40B headers).
+  [[nodiscard]] double bdp_packets() const {
+    const double bytes = static_cast<double>(nic_rate.bits_per_second()) / 8.0 *
+                         rtt().to_seconds();
+    return bytes / static_cast<double>(mss + 40);
+  }
+};
+
+}  // namespace rss::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "core/restricted_slow_start.hpp"
+#include "tcp/highspeed.hpp"
+
+namespace rss::core {
+
+/// Restricted Slow-Start composed with HighSpeed TCP congestion avoidance
+/// — the natural "future work" of the paper: RSS repairs the *startup*
+/// phase on large-BDP paths (host IFQ overflow), HSTCP (RFC 3649) repairs
+/// the *steady-state* phase (AIMD too slow to recover a large window).
+/// The two modifications are disjoint by construction — the paper is
+/// explicit that RSS touches only slow-start — so the composition is
+/// exactly: RSS's PID-paced growth while cwnd < ssthresh, HSTCP's a(w)/
+/// b(w) response otherwise.
+class HighSpeedRestrictedSlowStart final : public RestrictedSlowStart {
+ public:
+  struct HybridOptions {
+    RestrictedSlowStart::Options rss{};
+    tcp::HighSpeedCongestionControl::HsOptions highspeed{};
+  };
+
+  HighSpeedRestrictedSlowStart() : HighSpeedRestrictedSlowStart(HybridOptions{}) {}
+  explicit HighSpeedRestrictedSlowStart(HybridOptions opt)
+      : RestrictedSlowStart(opt.rss), hs_{opt.highspeed} {}
+
+  void attach(tcp::CcHost& host) override {
+    RestrictedSlowStart::attach(host);
+    hs_.attach(host);
+  }
+
+  void on_ack(std::uint32_t acked_bytes) override {
+    if (in_slow_start()) {
+      RestrictedSlowStart::on_ack(acked_bytes);  // PID-paced startup
+    } else {
+      hs_.on_ack(acked_bytes);  // a(w) super-linear avoidance
+    }
+  }
+
+  void on_fast_retransmit() override { hs_.on_fast_retransmit(); }  // b(w) decrease
+
+  [[nodiscard]] std::string_view name() const override { return "highspeed-rss"; }
+
+ private:
+  // Delegate for the congestion-avoidance response function. Attached to
+  // the same host, so window writes land in the same place; only one of
+  // the two algorithms acts per event.
+  tcp::HighSpeedCongestionControl hs_;
+};
+
+}  // namespace rss::core

@@ -1,0 +1,65 @@
+#include "core/restricted_slow_start.hpp"
+
+namespace rss::core {
+
+double RestrictedSlowStart::setpoint_packets() const {
+  return opt_.setpoint_fraction * static_cast<double>(host().ifq_capacity_packets());
+}
+
+void RestrictedSlowStart::on_ack(std::uint32_t acked_bytes) {
+  tcp::CcHost& h = host();
+  const auto mss = static_cast<double>(h.mss());
+
+  if (!in_slow_start()) {
+    // Congestion avoidance is stock Reno — the paper modifies slow-start only.
+    h.set_cwnd_bytes(h.cwnd_bytes() + mss * mss / h.cwnd_bytes());
+    return;
+  }
+
+  const sim::Time now = h.now();
+  const double occupancy = static_cast<double>(h.ifq_occupancy_packets());
+  const double capacity = static_cast<double>(h.ifq_capacity_packets());
+  const double error = setpoint_packets() - occupancy;
+
+  // Sample clock: every ACK in the event-driven default, or once per
+  // kernel-timer period with the output held in between (see Options).
+  const bool due = !last_update_ || opt_.sample_period.is_zero() ||
+                   now >= *last_update_ + opt_.sample_period;
+  if (due) {
+    // Coalesce zero-interval samples (ACK bursts landing at one timestamp)
+    // by padding dt to one nanosecond — the integral slice stays negligible.
+    double dt = 1e-9;
+    if (last_update_ && now > *last_update_) dt = (now - *last_update_).to_seconds();
+    last_update_ = now;
+
+    // Integral separation (see Options): only integrate near the set point.
+    const bool integrate =
+        std::abs(error) <= opt_.integral_separation_fraction * capacity;
+    held_output_ = pid_.update(error, dt, integrate);  // MSS per ACK, saturated
+  }
+  double u = held_output_;
+
+  // Burst guard: with the queue within a send-burst of overflowing, never
+  // grow — the sampled occupancy is a round-trip-old view of a bursty
+  // process and the cost of one more packet here is a send-stall. Applied
+  // per ACK so a held positive output cannot push through the top.
+  if (occupancy >= capacity - opt_.guard_packets) u = std::min(u, 0.0);
+  last_increment_ = u;
+
+  // Scale by acked data the way RFC 5681 does (min(N, SMSS)/MSS) so delayed
+  // ACKs do not double the restricted rate.
+  const double ack_scale =
+      std::min(static_cast<double>(acked_bytes), mss) / mss;
+  h.set_cwnd_bytes(h.cwnd_bytes() + u * mss * ack_scale);
+}
+
+bool RestrictedSlowStart::on_local_congestion() {
+  // A stall means the controller's model of the queue was stale (e.g. a
+  // cross-traffic burst filled the IFQ between ACKs). React like the stock
+  // stack, and flush the integral so the controller does not keep pushing.
+  const bool reduced = RenoCongestionControl::on_local_congestion();
+  if (reduced) pid_.set_integral(0.0);
+  return reduced;
+}
+
+}  // namespace rss::core

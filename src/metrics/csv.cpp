@@ -1,0 +1,68 @@
+#include "metrics/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rss::metrics {
+
+void CsvWriter::sep_if_needed() {
+  if (row_open_) {
+    os_ << sep_;
+  } else {
+    row_open_ = true;
+  }
+}
+
+CsvWriter& CsvWriter::field(std::string_view s) {
+  sep_if_needed();
+  const bool needs_quote =
+      s.find_first_of(",\"\n\r") != std::string_view::npos || s.find(sep_) != std::string_view::npos;
+  if (!needs_quote) {
+    os_ << s;
+  } else {
+    os_ << '"';
+    for (char c : s) {
+      if (c == '"') os_ << '"';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return field(std::string_view{buf});
+}
+
+CsvWriter& CsvWriter::field(long long v) {
+  sep_if_needed();
+  os_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(unsigned long long v) {
+  sep_if_needed();
+  os_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::endrow() {
+  os_ << '\n';
+  row_open_ = false;
+  ++rows_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::header(std::initializer_list<std::string_view> names) {
+  for (auto n : names) field(n);
+  return endrow();
+}
+
+CsvWriter& CsvWriter::header(const std::vector<std::string>& names) {
+  for (const auto& n : names) field(std::string_view{n});
+  return endrow();
+}
+
+}  // namespace rss::metrics

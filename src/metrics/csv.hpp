@@ -1,0 +1,42 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rss::metrics {
+
+/// Tiny CSV emitter for experiment output. Handles quoting of fields that
+/// contain separators/quotes/newlines; numeric overloads format with enough
+/// precision to round-trip.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os, char sep = ',') : os_{os}, sep_{sep} {}
+
+  CsvWriter& header(std::initializer_list<std::string_view> names);
+  CsvWriter& header(const std::vector<std::string>& names);
+
+  /// Append one field to the current row.
+  CsvWriter& field(std::string_view s);
+  CsvWriter& field(double v);
+  CsvWriter& field(long long v);
+  CsvWriter& field(unsigned long long v);
+  CsvWriter& field(int v) { return field(static_cast<long long>(v)); }
+  CsvWriter& field(std::size_t v) { return field(static_cast<unsigned long long>(v)); }
+
+  /// Terminate the current row.
+  CsvWriter& endrow();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void sep_if_needed();
+  std::ostream& os_;
+  char sep_;
+  bool row_open_{false};
+  std::size_t rows_{0};
+};
+
+}  // namespace rss::metrics

@@ -1,0 +1,73 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rss::metrics {
+
+Histogram::Histogram(std::vector<double> boundaries) : boundaries_{std::move(boundaries)} {
+  if (boundaries_.empty()) throw std::invalid_argument("Histogram: no boundaries");
+  if (!std::is_sorted(boundaries_.begin(), boundaries_.end()) ||
+      std::adjacent_find(boundaries_.begin(), boundaries_.end()) != boundaries_.end()) {
+    throw std::invalid_argument("Histogram: boundaries must be strictly increasing");
+  }
+  counts_.assign(boundaries_.size() + 1, 0);
+}
+
+Histogram Histogram::linear(double lo, double hi, std::size_t count) {
+  if (count == 0 || hi <= lo) throw std::invalid_argument("Histogram::linear: bad range");
+  std::vector<double> bounds;
+  bounds.reserve(count + 1);
+  const double width = (hi - lo) / static_cast<double>(count);
+  for (std::size_t i = 0; i <= count; ++i) bounds.push_back(lo + width * static_cast<double>(i));
+  return Histogram{std::move(bounds)};
+}
+
+Histogram Histogram::exponential(double lo, double factor, std::size_t count) {
+  if (count == 0 || lo <= 0 || factor <= 1.0)
+    throw std::invalid_argument("Histogram::exponential: bad parameters");
+  std::vector<double> bounds;
+  bounds.reserve(count + 1);
+  double b = lo;
+  for (std::size_t i = 0; i <= count; ++i, b *= factor) bounds.push_back(b);
+  return Histogram{std::move(bounds)};
+}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_ += weight;
+  sum_ += value * static_cast<double>(weight);
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  counts_[static_cast<std::size_t>(it - boundaries_.begin())] += weight;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t next = cum + counts_[i];
+    if (static_cast<double>(next) >= target && counts_[i] > 0) {
+      // Underflow / overflow buckets have no interior: clamp to extremes.
+      if (i == 0) return min_;
+      if (i == counts_.size() - 1) return max_;
+      const double lo = boundaries_[i - 1];
+      const double hi = boundaries_[i];
+      const double frac = (target - static_cast<double>(cum)) / static_cast<double>(counts_[i]);
+      // Interpolated position, clamped to observed extremes so q=0/q=1
+      // report real data rather than bucket edges.
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min_, max_);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+}  // namespace rss::metrics

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rss::metrics {
+
+/// Fixed-boundary histogram with quantile estimation by linear
+/// interpolation within buckets. Boundaries are caller-supplied (strictly
+/// increasing); values below the first boundary land in an underflow
+/// bucket, values >= the last in an overflow bucket.
+class Histogram {
+ public:
+  /// `boundaries` define buckets [b0,b1), [b1,b2), ... Must be strictly
+  /// increasing and non-empty.
+  explicit Histogram(std::vector<double> boundaries);
+
+  /// Convenience: `count` equal-width buckets spanning [lo, hi).
+  static Histogram linear(double lo, double hi, std::size_t count);
+
+  /// Convenience: geometrically growing buckets from `lo` by `factor`,
+  /// `count` buckets. Suits latency-like heavy-tailed data.
+  static Histogram exponential(double lo, double factor, std::size_t count);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t total_count() const { return total_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  /// Quantile in [0,1]; interpolates within the containing bucket.
+  /// Returns min()/max() at the extremes; 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& boundaries() const { return boundaries_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> counts_;  // size boundaries_.size()+1: [under, b0..b1, ..., over]
+  std::uint64_t total_{0};
+  double sum_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+}  // namespace rss::metrics

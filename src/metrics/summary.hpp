@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rss::metrics {
+
+/// Descriptive statistics over a batch of values.
+struct SummaryStats {
+  std::size_t count{0};
+  double mean{0.0};
+  double stddev{0.0};  // sample (n-1) standard deviation; 0 when count < 2
+  double min{0.0};
+  double p25{0.0};
+  double median{0.0};
+  double p75{0.0};
+  double p95{0.0};
+  double max{0.0};
+};
+
+/// Compute SummaryStats over `values` (copied & sorted internally).
+[[nodiscard]] SummaryStats summarize(std::span<const double> values);
+
+/// Linear-interpolated quantile of a *sorted* sequence, q in [0,1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Jain's fairness index over per-entity allocations:
+///   J = (Σx)² / (n · Σx²)  ∈ (0, 1],  1 = perfectly fair.
+/// Returns 1.0 for empty or all-zero input (nothing to be unfair about).
+[[nodiscard]] double jain_fairness(std::span<const double> allocations);
+
+/// Online mean/variance accumulator (Welford) for streaming use.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+}  // namespace rss::metrics

@@ -1,0 +1,74 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rss::metrics {
+
+double TimeSeries::value_at(sim::Time t, double fallback) const {
+  // Samples are recorded in nondecreasing time order (simulation time is
+  // monotone), so binary search applies.
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
+                             [](sim::Time lhs, const Sample& s) { return lhs < s.t; });
+  if (it == samples_.begin()) return fallback;
+  return std::prev(it)->value;
+}
+
+std::vector<Sample> TimeSeries::resample(sim::Time start, sim::Time end, sim::Time period,
+                                         double initial) const {
+  if (period <= sim::Time::zero()) throw std::invalid_argument("resample: period must be > 0");
+  std::vector<Sample> grid;
+  double current = initial;
+  auto it = samples_.begin();
+  for (sim::Time t = start; t <= end; t += period) {
+    while (it != samples_.end() && it->t <= t) current = (it++)->value;
+    grid.push_back({t, current});
+  }
+  return grid;
+}
+
+double TimeSeries::min_value() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& s : samples_) {
+    if (first || s.value < m) m = s.value;
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::max_value() const {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& s : samples_) {
+    if (first || s.value > m) m = s.value;
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::mean_value() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += s.value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::time_weighted_mean(sim::Time t0, sim::Time t1, double initial) const {
+  if (t1 <= t0) return value_at(t0, initial);
+  double acc = 0.0;
+  double current = value_at(t0, initial);
+  sim::Time prev = t0;
+  for (const auto& s : samples_) {
+    if (s.t <= t0) continue;
+    const sim::Time seg_end = std::min(s.t, t1);
+    acc += current * (seg_end - prev).to_seconds();
+    prev = seg_end;
+    current = s.value;
+    if (s.t >= t1) break;
+  }
+  if (prev < t1) acc += current * (t1 - prev).to_seconds();
+  return acc / (t1 - t0).to_seconds();
+}
+
+}  // namespace rss::metrics

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace rss::net {
+
+/// Link/NIC transmission rate in bits per second, with the conversion that
+/// matters everywhere: how long a packet of N bytes occupies the wire.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  [[nodiscard]] static constexpr DataRate bps(std::uint64_t v) { return DataRate{v}; }
+  [[nodiscard]] static constexpr DataRate kbps(std::uint64_t v) { return DataRate{v * 1'000}; }
+  [[nodiscard]] static constexpr DataRate mbps(std::uint64_t v) { return DataRate{v * 1'000'000}; }
+  [[nodiscard]] static constexpr DataRate gbps(std::uint64_t v) {
+    return DataRate{v * 1'000'000'000};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double megabits_per_second() const {
+    return static_cast<double>(bps_) / 1e6;
+  }
+
+  /// Serialization delay for `bytes` at this rate, rounded up to a whole
+  /// nanosecond so back-to-back packets never overlap on the wire.
+  [[nodiscard]] constexpr sim::Time transmission_time(std::size_t bytes) const {
+    const auto bits = static_cast<std::uint64_t>(bytes) * 8;
+    const std::uint64_t ns = (bits * 1'000'000'000 + bps_ - 1) / bps_;
+    return sim::Time::nanoseconds(static_cast<std::int64_t>(ns));
+  }
+
+  /// Bytes this rate delivers over `interval` (floor).
+  [[nodiscard]] constexpr std::uint64_t bytes_over(sim::Time interval) const {
+    const auto ns = static_cast<std::uint64_t>(interval.nanoseconds_count());
+    return bps_ * ns / 8 / 1'000'000'000;
+  }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  constexpr explicit DataRate(std::uint64_t bps) : bps_{bps} {}
+  std::uint64_t bps_{0};
+};
+
+}  // namespace rss::net

@@ -1,0 +1,50 @@
+#include "net/device.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/link.hpp"
+
+namespace rss::net {
+
+NetDevice::NetDevice(sim::Simulation& simulation, DataRate rate,
+                     std::unique_ptr<PacketQueue> ifq, std::string name)
+    : sim_{simulation}, rate_{rate}, ifq_{std::move(ifq)}, name_{std::move(name)} {
+  if (!ifq_) throw std::invalid_argument("NetDevice: null IFQ");
+  if (rate_.bits_per_second() == 0) throw std::invalid_argument("NetDevice: zero rate");
+}
+
+NetDevice::TxResult NetDevice::send(const Packet& p) {
+  if (!ifq_->enqueue(p)) {
+    ++stats_.send_stalls;
+    if (stall_cb_) stall_cb_(p);
+    return TxResult::kRejected;
+  }
+  try_start_tx();
+  return TxResult::kQueued;
+}
+
+void NetDevice::try_start_tx() {
+  if (busy_) return;
+  auto next = ifq_->dequeue();
+  if (!next) return;
+  busy_ = true;
+  const Packet p = *next;
+  sim_.in(rate_.transmission_time(p.size_bytes()), [this, p] { complete_tx(p); });
+}
+
+void NetDevice::complete_tx(const Packet& p) {
+  ++stats_.tx_packets;
+  stats_.tx_bytes += p.size_bytes();
+  busy_ = false;
+  if (link_) link_->transmit_from(*this, p);
+  try_start_tx();
+}
+
+void NetDevice::deliver_up(const Packet& p) {
+  ++stats_.rx_packets;
+  stats_.rx_bytes += p.size_bytes();
+  if (rx_cb_) rx_cb_(p, *this);
+}
+
+}  // namespace rss::net

@@ -1,0 +1,17 @@
+#include "net/packet.hpp"
+
+#include <ostream>
+
+namespace rss::net {
+
+std::ostream& operator<<(std::ostream& os, const Packet& p) {
+  os << "pkt#" << p.uid << " flow=" << p.flow_id << " " << p.src_node << "->" << p.dst_node
+     << " len=" << p.size_bytes();
+  if (p.tcp.syn) os << " SYN";
+  if (p.tcp.fin) os << " FIN";
+  if (p.tcp.is_ack) os << " ACK=" << p.tcp.ack;
+  if (p.is_data()) os << " seq=" << p.tcp.seq << "+" << p.payload_bytes;
+  return os;
+}
+
+}  // namespace rss::net

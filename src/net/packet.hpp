@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace rss::net {
+
+/// One SACK block (RFC 2018): receiver-held bytes in [start, end) of
+/// sequence space.
+struct SackBlock {
+  std::uint32_t start{0};
+  std::uint32_t end{0};
+};
+
+/// TCP header fields the simulation models. Sequence/ack numbers are byte
+/// offsets with 32-bit wraparound semantics (see tcp/sequence.hpp). Up to
+/// three SACK blocks ride along when the receiver enables the option
+/// (three, not four, because real stacks lose one slot to the timestamp
+/// option — we model the common case).
+struct TcpHeader {
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint32_t advertised_window{0};  ///< receiver window in bytes
+  bool syn{false};
+  bool fin{false};
+  bool is_ack{false};
+  std::uint8_t sack_count{0};  ///< 0..3 valid entries in `sack`
+  std::array<SackBlock, 3> sack{};
+};
+
+/// Simulation packet: headers plus an on-wire size. No payload bytes are
+/// carried — the simulation only needs their count (standard simulator
+/// economy; ns-2 does the same for FullTcp-less agents).
+struct Packet {
+  std::uint64_t uid{0};        ///< globally unique, for tracing
+  std::uint32_t flow_id{0};    ///< demultiplexing key (connection id)
+  std::uint32_t src_node{0};
+  std::uint32_t dst_node{0};
+  std::uint32_t payload_bytes{0};
+  std::uint32_t header_bytes{40};  ///< IP(20) + TCP(20), options ignored
+  TcpHeader tcp{};
+
+  [[nodiscard]] std::uint32_t size_bytes() const { return payload_bytes + header_bytes; }
+  [[nodiscard]] bool is_data() const { return payload_bytes > 0; }
+  [[nodiscard]] bool is_pure_ack() const { return payload_bytes == 0 && tcp.is_ack; }
+};
+
+/// Monotone packet uid source (one per simulation; not thread-shared).
+class PacketUidSource {
+ public:
+  std::uint64_t next() { return ++last_; }
+
+ private:
+  std::uint64_t last_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, const Packet& p);
+
+}  // namespace rss::net

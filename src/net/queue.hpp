@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+
+namespace rss::net {
+
+/// Occupancy/drop statistics every queue maintains. `peak_packets` is the
+/// high-water mark — the motivation section of the paper is precisely about
+/// this value hitting capacity.
+struct QueueStats {
+  std::uint64_t enqueued{0};
+  std::uint64_t dequeued{0};
+  std::uint64_t dropped{0};
+  std::uint64_t bytes_enqueued{0};
+  std::uint64_t bytes_dropped{0};
+  std::size_t peak_packets{0};
+};
+
+/// Abstract FIFO of packets with an admission policy. Implementations
+/// decide drop behaviour; the owner (NetDevice or Link egress) decides
+/// drain timing.
+class PacketQueue {
+ public:
+  virtual ~PacketQueue() = default;
+
+  /// Try to admit a packet. Returns false if the packet was dropped (the
+  /// caller turns that into a send-stall or a wire drop as appropriate).
+  [[nodiscard]] virtual bool enqueue(const Packet& p) = 0;
+
+  /// Remove and return the head packet, or nullopt when empty.
+  [[nodiscard]] virtual std::optional<Packet> dequeue() = 0;
+
+  [[nodiscard]] virtual std::size_t size_packets() const = 0;
+  [[nodiscard]] virtual std::size_t size_bytes() const = 0;
+  [[nodiscard]] virtual std::size_t capacity_packets() const = 0;
+  [[nodiscard]] virtual bool empty() const { return size_packets() == 0; }
+
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
+
+  /// Occupancy as a fraction of packet capacity — the PID process variable.
+  [[nodiscard]] double fill_fraction() const {
+    const std::size_t cap = capacity_packets();
+    return cap ? static_cast<double>(size_packets()) / static_cast<double>(cap) : 0.0;
+  }
+
+ protected:
+  QueueStats stats_;
+};
+
+/// Classic tail-drop FIFO bounded in packets — the Linux `txqueuelen`
+/// interface queue and the default router queue discipline of the paper's
+/// era. Capacity 100 packets matches the Linux 2.4 txqueuelen default.
+class DropTailQueue final : public PacketQueue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets = 100);
+
+  [[nodiscard]] bool enqueue(const Packet& p) override;
+  [[nodiscard]] std::optional<Packet> dequeue() override;
+  [[nodiscard]] std::size_t size_packets() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const override { return bytes_; }
+  [[nodiscard]] std::size_t capacity_packets() const override { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t bytes_{0};
+  std::deque<Packet> queue_;
+};
+
+/// Random Early Detection (Floyd & Jacobson '93): probabilistic marking/
+/// dropping between min_th and max_th of EWMA average occupancy. Provided
+/// as the era's standard AQM so dumbbell experiments can contrast tail-drop
+/// routers with AQM routers; RSS itself targets the host IFQ, which is
+/// always tail-drop.
+class RedQueue final : public PacketQueue {
+ public:
+  struct Options {
+    std::size_t capacity_packets{100};
+    double min_threshold{15.0};   ///< packets
+    double max_threshold{45.0};   ///< packets
+    double max_drop_probability{0.1};
+    double queue_weight{0.002};   ///< EWMA weight w_q
+  };
+
+  RedQueue(Options opt, sim::Rng rng);
+
+  [[nodiscard]] bool enqueue(const Packet& p) override;
+  [[nodiscard]] std::optional<Packet> dequeue() override;
+  [[nodiscard]] std::size_t size_packets() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const override { return bytes_; }
+  [[nodiscard]] std::size_t capacity_packets() const override { return opt_.capacity_packets; }
+
+  [[nodiscard]] double average_occupancy() const { return avg_; }
+  [[nodiscard]] std::uint64_t early_drops() const { return early_drops_; }
+  [[nodiscard]] std::uint64_t forced_drops() const { return forced_drops_; }
+
+ private:
+  Options opt_;
+  sim::Rng rng_;
+  std::deque<Packet> queue_;
+  std::size_t bytes_{0};
+  double avg_{0.0};
+  std::uint64_t count_since_drop_{0};  ///< packets since last early drop (RED's `count`)
+  std::uint64_t early_drops_{0};
+  std::uint64_t forced_drops_{0};
+};
+
+}  // namespace rss::net

@@ -1,0 +1,53 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rss::net {
+
+void PacketTracer::attach(NetDevice& device) {
+  // Chain: keep whatever was wired before and add our recording.
+  auto prev_rx = device.receive_callback();
+  device.set_receive_callback([this, prev_rx, &device](const Packet& p, NetDevice& dev) {
+    events_.push_back({device.simulation().now(), TraceEvent::Kind::kReceive, p.uid,
+                       p.flow_id, p.src_node, p.dst_node, p.size_bytes(), dev.name()});
+    if (prev_rx) prev_rx(p, dev);
+  });
+
+  auto prev_stall = device.stall_callback();
+  device.set_stall_callback([this, prev_stall, &device](const Packet& p) {
+    events_.push_back({device.simulation().now(), TraceEvent::Kind::kDrop, p.uid, p.flow_id,
+                       p.src_node, p.dst_node, p.size_bytes(), device.name()});
+    if (prev_stall) prev_stall(p);
+  });
+}
+
+std::size_t PacketTracer::count(
+    const std::function<bool(const TraceEvent&)>& pred) const {
+  return static_cast<std::size_t>(std::count_if(events_.begin(), events_.end(), pred));
+}
+
+std::vector<TraceEvent> PacketTracer::for_flow(std::uint32_t flow_id) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.flow_id == flow_id) out.push_back(e);
+  }
+  return out;
+}
+
+void PacketTracer::dump(std::ostream& os) const {
+  for (const auto& e : events_) os << e << '\n';
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& e) {
+  // ns-2-ish single-letter event codes.
+  const char code = e.kind == TraceEvent::Kind::kReceive   ? 'r'
+                    : e.kind == TraceEvent::Kind::kDrop    ? 'd'
+                    : e.kind == TraceEvent::Kind::kEnqueue ? '+'
+                                                           : '-';
+  return os << code << ' ' << e.t.to_seconds() << ' ' << e.device << " flow" << e.flow_id
+            << ' ' << e.src_node << "->" << e.dst_node << " uid" << e.packet_uid << " len"
+            << e.size_bytes;
+}
+
+}  // namespace rss::net

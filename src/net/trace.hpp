@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace rss::net {
+
+/// One traced packet event, ns-2 trace-file style.
+struct TraceEvent {
+  enum class Kind { kEnqueue, kDequeueTx, kReceive, kDrop };
+  sim::Time t;
+  Kind kind;
+  std::uint64_t packet_uid;
+  std::uint32_t flow_id;
+  std::uint32_t src_node;
+  std::uint32_t dst_node;
+  std::uint32_t size_bytes;
+  std::string device;
+};
+
+/// Packet trace recorder: attach to devices and it logs tx/rx/drop events
+/// into memory for assertions (tests) or export (debugging). The moral
+/// equivalent of `tcpdump` on the paper's testbed.
+///
+/// Attachment is non-invasive: the tracer chains onto the device's
+/// receive/stall callbacks (preserving any existing ones) and polls tx
+/// counters per event via wrappers; enqueue/dequeue granularity inside the
+/// IFQ is not observable without invading NetDevice, so tx is recorded at
+/// receive-on-the-peer and drop at stall time. That is sufficient for flow
+/// accounting.
+class PacketTracer {
+ public:
+  explicit PacketTracer(std::size_t capacity_hint = 4096) { events_.reserve(capacity_hint); }
+
+  /// Trace packets delivered up by `device` (receive path) and local
+  /// send-stall drops at `device`. Must be called before other parties
+  /// replace the callbacks; existing callbacks are preserved and invoked.
+  void attach(NetDevice& device);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Count of events matching a predicate.
+  [[nodiscard]] std::size_t count(
+      const std::function<bool(const TraceEvent&)>& pred) const;
+
+  /// Events of one flow, in order.
+  [[nodiscard]] std::vector<TraceEvent> for_flow(std::uint32_t flow_id) const;
+
+  /// Write an ns-2-ish text trace ("r 1.2345 ...") to a stream.
+  void dump(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& e);
+
+}  // namespace rss::net

@@ -1,0 +1,29 @@
+#include "scenario/cc_factories.hpp"
+
+#include <stdexcept>
+
+namespace rss::scenario {
+
+CcFactory factory_by_name(const std::string& name) {
+  if (name == "reno" || name == "standard" || name == "standard-tcp") {
+    return make_reno_factory();
+  }
+  if (name == "tahoe") return make_tahoe_factory();
+  if (name == "vegas") return make_vegas_factory();
+  if (name == "limited" || name == "limited-slow-start" || name == "lss") {
+    return make_limited_slow_start_factory();
+  }
+  if (name == "restricted" || name == "restricted-slow-start" || name == "rss") {
+    return make_rss_factory();
+  }
+  if (name == "highspeed" || name == "hstcp") return make_highspeed_factory();
+  if (name == "highspeed-rss" || name == "hs-rss") return make_highspeed_rss_factory();
+  throw std::invalid_argument("unknown congestion-control variant: " + name);
+}
+
+std::vector<std::string> variant_names() {
+  return {"tahoe",      "reno",      "vegas", "limited-slow-start", "restricted-slow-start",
+          "highspeed", "highspeed-rss"};
+}
+
+}  // namespace rss::scenario

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/highspeed_rss.hpp"
+#include "core/restricted_slow_start.hpp"
+#include "scenario/wan_path.hpp"
+#include "tcp/highspeed.hpp"
+#include "tcp/limited_slow_start.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/tahoe.hpp"
+#include "tcp/vegas.hpp"
+
+namespace rss::scenario {
+
+/// Named congestion-control factories so experiment harnesses can iterate
+/// "variant" as data. These are the three columns of TAB-1.
+[[nodiscard]] inline CcFactory make_reno_factory() {
+  return [] { return std::make_unique<tcp::RenoCongestionControl>(); };
+}
+
+[[nodiscard]] inline CcFactory make_limited_slow_start_factory(
+    std::uint32_t max_ssthresh_segments = 100) {
+  return [max_ssthresh_segments] {
+    tcp::LimitedSlowStart::LssOptions opt;
+    opt.max_ssthresh_segments = max_ssthresh_segments;
+    return std::make_unique<tcp::LimitedSlowStart>(opt);
+  };
+}
+
+[[nodiscard]] inline CcFactory make_rss_factory(
+    core::RestrictedSlowStart::Options options = {}) {
+  return [options] { return std::make_unique<core::RestrictedSlowStart>(options); };
+}
+
+[[nodiscard]] inline CcFactory make_tahoe_factory() {
+  return [] { return std::make_unique<tcp::TahoeCongestionControl>(); };
+}
+
+[[nodiscard]] inline CcFactory make_vegas_factory(
+    tcp::VegasCongestionControl::VegasOptions options = {}) {
+  return [options] { return std::make_unique<tcp::VegasCongestionControl>(options); };
+}
+
+[[nodiscard]] inline CcFactory make_highspeed_factory(
+    tcp::HighSpeedCongestionControl::HsOptions options = {}) {
+  return [options] { return std::make_unique<tcp::HighSpeedCongestionControl>(options); };
+}
+
+[[nodiscard]] inline CcFactory make_highspeed_rss_factory(
+    core::HighSpeedRestrictedSlowStart::HybridOptions options = {}) {
+  return [options] {
+    return std::make_unique<core::HighSpeedRestrictedSlowStart>(options);
+  };
+}
+
+/// Factory by name, for command-line front ends; throws on unknown names.
+[[nodiscard]] CcFactory factory_by_name(const std::string& name);
+
+/// All registered variant names in display order.
+[[nodiscard]] std::vector<std::string> variant_names();
+
+/// Variant descriptor used by the table/figure harnesses.
+struct CcVariant {
+  std::string label;
+  CcFactory factory;
+};
+
+[[nodiscard]] inline std::vector<CcVariant> standard_variants(
+    core::RestrictedSlowStart::Options rss_options = {}) {
+  return {
+      {"standard-tcp", make_reno_factory()},
+      {"limited-slow-start", make_limited_slow_start_factory()},
+      {"restricted-slow-start", make_rss_factory(rss_options)},
+  };
+}
+
+}  // namespace rss::scenario

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "scenario/wan_path.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace rss::scenario {
+
+/// Classic dumbbell: N senders behind a shared bottleneck router, N
+/// receivers on the far side. Used for the multi-flow friendliness
+/// experiments (EXT-FAIR) and for exercising *network* (router-queue)
+/// congestion as opposed to the WanPath's *host* (IFQ) congestion.
+///
+///   S1 ─┐                              ┌─ R1
+///   S2 ─┼── L ══ bottleneck, delay ══ R ┼─ R2
+///   SN ─┘                              └─ RN
+///
+/// Per-flow congestion control is chosen by a factory taking the flow
+/// index, so mixed-algorithm populations (e.g. one RSS flow among Renos)
+/// are a one-liner.
+class Dumbbell {
+ public:
+  struct Config {
+    std::size_t flows{2};
+    std::uint64_t seed{1};
+    net::DataRate access_rate{net::DataRate::gbps(1)};
+    net::DataRate bottleneck_rate{net::DataRate::mbps(100)};
+    sim::Time access_delay{sim::Time::milliseconds(1)};
+    sim::Time bottleneck_delay{sim::Time::milliseconds(28)};  ///< ~60 ms RTT total
+    std::size_t sender_ifq_packets{100};      ///< per-host NIC queue
+    std::size_t router_queue_packets{100};    ///< shared bottleneck queue
+    std::uint32_t mss{1460};
+    tcp::TcpSender::Options sender{};         ///< ids/mss overwritten per flow
+    tcp::TcpReceiver::Options receiver{};     ///< ids overwritten per flow
+  };
+
+  using PerFlowCcFactory =
+      std::function<std::unique_ptr<tcp::CongestionControl>(std::size_t flow_index)>;
+
+  Dumbbell(Config config, const PerFlowCcFactory& cc_factory);
+
+  /// Start flow `i`'s unbounded bulk transfer at `start`.
+  void start_flow(std::size_t i, sim::Time start);
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] std::size_t flow_count() const { return senders_.size(); }
+  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return *senders_.at(i); }
+  [[nodiscard]] tcp::TcpReceiver& receiver(std::size_t i) { return *receivers_.at(i); }
+  [[nodiscard]] net::Node& left_router() { return *left_router_; }
+  [[nodiscard]] net::Node& right_router() { return *right_router_; }
+  /// The shared bottleneck egress device on the left router.
+  [[nodiscard]] net::NetDevice& bottleneck() { return *bottleneck_dev_; }
+
+  /// Per-flow goodput over [t0, t1] (Mbit/s).
+  [[nodiscard]] std::vector<double> goodputs_mbps(sim::Time t0, sim::Time t1) const;
+
+ private:
+  Config cfg_;
+  sim::Simulation sim_;
+  std::vector<std::unique_ptr<net::Node>> sender_nodes_;
+  std::vector<std::unique_ptr<net::Node>> receiver_nodes_;
+  std::unique_ptr<net::Node> left_router_;
+  std::unique_ptr<net::Node> right_router_;
+  net::NetDevice* bottleneck_dev_{nullptr};
+  std::vector<std::unique_ptr<net::PointToPointLink>> links_;
+  std::vector<std::unique_ptr<tcp::TcpSender>> senders_;
+  std::vector<std::unique_ptr<tcp::TcpReceiver>> receivers_;
+};
+
+}  // namespace rss::scenario

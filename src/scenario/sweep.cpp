@@ -1,0 +1,45 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+namespace rss::scenario {
+
+void parallel_sweep(std::size_t count, const std::function<void(std::size_t)>& fn,
+                    std::size_t max_threads) {
+  if (count == 0) return;
+  std::size_t workers = max_threads ? max_threads : std::thread::hardware_concurrency();
+  workers = std::clamp<std::size_t>(workers, 1, count);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rss::scenario

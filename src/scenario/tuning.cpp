@@ -1,0 +1,46 @@
+#include "scenario/tuning.hpp"
+
+#include <vector>
+
+#include "core/restricted_slow_start.hpp"
+#include "scenario/cc_factories.hpp"
+#include "scenario/wan_path.hpp"
+
+namespace rss::scenario {
+
+std::optional<control::TuningResult> tune_restricted_slow_start(const TuneOptions& options) {
+  const auto experiment =
+      [&options](double kp) -> std::vector<control::ResponseSample> {
+    core::RestrictedSlowStart::Options rss_opt;
+    rss_opt.setpoint_fraction = options.setpoint_fraction;
+    rss_opt.gains = control::PidGains{kp, 0.0, 0.0};  // P-only probe
+    rss_opt.min_increment_mss = -1.0;                 // symmetric authority
+    rss_opt.max_increment_mss = 1.0;
+    rss_opt.sample_period = options.controller_period;
+
+    WanPath::Config cfg;
+    cfg.path = options.path;
+    cfg.enable_web100 = false;  // keep the probe lean
+    WanPath wan{cfg, make_rss_factory(rss_opt)};
+
+    // Record the process variable — IFQ occupancy — on a fixed grid,
+    // discarding the slow-start ramp (see TuneOptions::warmup).
+    std::vector<control::ResponseSample> response;
+    response.reserve(static_cast<std::size_t>(options.duration / options.sample_period) + 1);
+    wan.simulation().every(options.sample_period, [&](sim::Time now) {
+      if (now >= options.warmup) {
+        response.push_back(
+            {now.to_seconds(), static_cast<double>(wan.nic().occupancy_packets())});
+      }
+      return true;
+    });
+
+    wan.run_bulk_transfer(sim::Time::zero(), options.duration);
+    return response;
+  };
+
+  const control::ZieglerNicholsTuner tuner{options.tuner};
+  return tuner.tune(experiment);
+}
+
+}  // namespace rss::scenario

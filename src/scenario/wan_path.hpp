@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/config.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/congestion_control.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "web100/polling_agent.hpp"
+
+namespace rss::scenario {
+
+/// Factory for the congestion-control algorithm under test.
+using CcFactory = std::function<std::unique_ptr<tcp::CongestionControl>()>;
+
+/// The paper's testbed in a box (§4): a host whose 100 Mbps NIC (with a
+/// 100-packet interface queue) is the path bottleneck, talking across a
+/// 60 ms-RTT WAN to a fast receiver. One bulk TCP flow, Web100-style
+/// polling of its MIB.
+///
+///     sender ── NIC(100 Mbps, IFQ 100) ══ 30 ms ══ NIC(1 Gbps) ── receiver
+///
+/// The sender NIC is where send-stalls happen; everything the paper
+/// measures is observable through `sender().mib()` and `agent()`.
+class WanPath {
+ public:
+  struct Config {
+    core::CanonicalPath path{};
+    std::uint64_t seed{1};
+    std::uint32_t flow_id{1};
+    std::size_t receiver_ifq_packets{1000};
+    sim::Time web100_poll_period{sim::Time::milliseconds(100)};
+    bool enable_web100{true};
+    tcp::TcpReceiver::Options receiver{};  ///< flow/peer ids are overwritten
+    tcp::TcpSender::Options sender{};      ///< flow/dst/mss are overwritten
+  };
+
+  WanPath(Config config, const CcFactory& cc_factory);
+
+  /// Start an unbounded bulk transfer at `start` and run until `until`.
+  void run_bulk_transfer(sim::Time start, sim::Time until);
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] tcp::TcpSender& sender() { return *sender_; }
+  [[nodiscard]] const tcp::TcpSender& sender() const { return *sender_; }
+  [[nodiscard]] tcp::TcpReceiver& receiver() { return *receiver_; }
+  [[nodiscard]] net::Node& sender_node() { return *sender_node_; }
+  [[nodiscard]] net::Node& receiver_node() { return *receiver_node_; }
+  /// The bottleneck NIC whose IFQ the paper's controller watches.
+  [[nodiscard]] net::NetDevice& nic() { return *nic_; }
+  [[nodiscard]] const net::NetDevice& nic() const { return *nic_; }
+  [[nodiscard]] web100::PollingAgent* agent() { return agent_.get(); }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Throughput of the measured flow over [t0, t1] in Mbit/s, from
+  /// cumulatively acknowledged bytes.
+  [[nodiscard]] double goodput_mbps(sim::Time t0, sim::Time t1) const {
+    return sender_->goodput_mbps(t0, t1);
+  }
+
+ private:
+  Config cfg_;
+  sim::Simulation sim_;
+  std::unique_ptr<net::Node> sender_node_;
+  std::unique_ptr<net::Node> receiver_node_;
+  net::NetDevice* nic_{nullptr};
+  std::unique_ptr<net::PointToPointLink> link_;
+  std::unique_ptr<tcp::TcpReceiver> receiver_;
+  std::unique_ptr<tcp::TcpSender> sender_;
+  std::unique_ptr<web100::PollingAgent> agent_;
+};
+
+}  // namespace rss::scenario

@@ -1,0 +1,125 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rss::sim {
+
+namespace {
+
+bool item_before(const CalendarQueue::Item& a, const CalendarQueue::Item& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue(std::size_t initial_days, Time initial_day_width)
+    : buckets_(initial_days), day_width_{initial_day_width} {
+  if (initial_days == 0) throw std::invalid_argument("CalendarQueue: zero days");
+  if (initial_day_width <= Time::zero())
+    throw std::invalid_argument("CalendarQueue: non-positive day width");
+}
+
+void CalendarQueue::push(Time at, std::uint64_t seq, std::function<void()> cb) {
+  if (at < last_popped_) throw std::invalid_argument("CalendarQueue: push into the past");
+  auto& bucket = buckets_[bucket_of(at)];
+  Item item{at, seq, std::move(cb)};
+  // Buckets stay sorted; insertion keeps the common append case O(1).
+  const auto pos = std::upper_bound(bucket.begin(), bucket.end(), item, item_before);
+  bucket.insert(pos, std::move(item));
+  ++size_;
+  maybe_resize();
+}
+
+CalendarQueue::Item CalendarQueue::pop_min() {
+  if (size_ == 0) throw std::logic_error("CalendarQueue: pop from empty queue");
+
+  // Scan from the bucket of the last popped time forward one "year",
+  // accepting only items inside the current year window (classic calendar
+  // scan); fall back to a global min when the year scan finds nothing
+  // (sparse far-future events).
+  const std::size_t days = buckets_.size();
+  const auto width_ns = static_cast<std::uint64_t>(day_width_.nanoseconds_count());
+  const auto start_ticks =
+      static_cast<std::uint64_t>(last_popped_.nanoseconds_count()) / width_ns;
+
+  for (std::size_t i = 0; i < days; ++i) {
+    const std::uint64_t ticks = start_ticks + i;
+    auto& bucket = buckets_[static_cast<std::size_t>(ticks % days)];
+    if (bucket.empty()) continue;
+    const Item& head = bucket.front();
+    // Accept if the head belongs to this day of this year.
+    if (static_cast<std::uint64_t>(head.at.nanoseconds_count()) / width_ns == ticks) {
+      Item out = std::move(bucket.front());
+      bucket.erase(bucket.begin());
+      --size_;
+      last_popped_ = out.at;
+      maybe_resize();
+      return out;
+    }
+  }
+
+  // Direct search: find the globally earliest head.
+  std::size_t best = days;
+  for (std::size_t b = 0; b < days; ++b) {
+    if (buckets_[b].empty()) continue;
+    if (best == days || item_before(buckets_[b].front(), buckets_[best].front())) best = b;
+  }
+  Item out = std::move(buckets_[best].front());
+  buckets_[best].erase(buckets_[best].begin());
+  --size_;
+  last_popped_ = out.at;
+  maybe_resize();
+  return out;
+}
+
+Time CalendarQueue::estimate_width() const {
+  // Mean gap between sorted times of up to 32 sampled items; fall back to
+  // the current width when the sample is degenerate.
+  std::vector<Time> sample;
+  sample.reserve(32);
+  for (const auto& bucket : buckets_) {
+    for (const auto& item : bucket) {
+      sample.push_back(item.at);
+      if (sample.size() >= 32) break;
+    }
+    if (sample.size() >= 32) break;
+  }
+  if (sample.size() < 2) return day_width_;
+  std::sort(sample.begin(), sample.end());
+  const Time span = sample.back() - sample.front();
+  const auto gaps = static_cast<std::int64_t>(sample.size() - 1);
+  Time width = span / gaps;
+  if (width <= Time::zero()) width = Time::nanoseconds(1);
+  // Brown's rule of thumb: bucket width ~ 3x the mean gap.
+  return width * 3;
+}
+
+void CalendarQueue::maybe_resize() {
+  const std::size_t days = buckets_.size();
+  if (size_ > 2 * days) {
+    rebuild(days * 2, estimate_width());
+  } else if (days > 16 && size_ < days / 2) {
+    rebuild(days / 2, estimate_width());
+  }
+}
+
+void CalendarQueue::rebuild(std::size_t new_days, Time new_width) {
+  ++resizes_;
+  std::vector<Item> all;
+  all.reserve(size_);
+  for (auto& bucket : buckets_) {
+    for (auto& item : bucket) all.push_back(std::move(item));
+    bucket.clear();
+  }
+  buckets_.assign(new_days, {});
+  day_width_ = new_width;
+  for (auto& item : all) {
+    auto& bucket = buckets_[bucket_of(item.at)];
+    const auto pos = std::upper_bound(bucket.begin(), bucket.end(), item, item_before);
+    bucket.insert(pos, std::move(item));
+  }
+}
+
+}  // namespace rss::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rss::sim {
+
+/// Calendar queue (Brown '88) — the classic O(1)-amortized event structure
+/// of ns-2-lineage simulators, provided as an alternative to the binary
+/// heap inside Scheduler for workloads with dense, near-uniform event
+/// spacing (packet serializations at line rate are exactly that).
+///
+/// Days (buckets) of width `day_width` cover one "year"; an event lands in
+/// bucket (t / width) mod days and buckets hold sorted-by-(time, seq)
+/// vectors. The structure resizes (doubling/halving days, re-estimating
+/// width) when occupancy drifts outside [days/2, 2*days].
+///
+/// This class is a priority-queue primitive (push/pop-min), deliberately
+/// mirroring the interface shape of the heap inside Scheduler so the
+/// property suite can run both against identical random schedules and
+/// demand identical pop order. bench/micro_substrate compares throughput.
+class CalendarQueue {
+ public:
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> cb;
+  };
+
+  explicit CalendarQueue(std::size_t initial_days = 16,
+                         Time initial_day_width = Time::microseconds(100));
+
+  void push(Time at, std::uint64_t seq, std::function<void()> cb);
+
+  /// Remove and return the earliest item (ties by seq). Empty -> nullopt
+  /// semantics via has_value on the optional-like bool + out param would be
+  /// clumsy; the caller must check empty() first.
+  Item pop_min();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t day_count() const { return buckets_.size(); }
+  [[nodiscard]] Time day_width() const { return day_width_; }
+  [[nodiscard]] std::uint64_t resizes() const { return resizes_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(Time t) const {
+    const auto ticks =
+        static_cast<std::uint64_t>(t.nanoseconds_count()) /
+        static_cast<std::uint64_t>(day_width_.nanoseconds_count());
+    return static_cast<std::size_t>(ticks % buckets_.size());
+  }
+  void maybe_resize();
+  void rebuild(std::size_t new_days, Time new_width);
+  /// Estimate a good day width from a sample of queued items (mean gap).
+  [[nodiscard]] Time estimate_width() const;
+
+  std::vector<std::vector<Item>> buckets_;
+  Time day_width_;
+  std::size_t size_{0};
+  Time last_popped_{Time::zero()};
+  std::uint64_t resizes_{0};
+};
+
+}  // namespace rss::sim

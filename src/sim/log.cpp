@@ -1,0 +1,27 @@
+#include "sim/log.hpp"
+
+namespace rss::sim {
+namespace {
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::write(LogLevel level, Time now, std::string_view component,
+                std::string_view message) {
+  if (!enabled(level)) return;
+  *sink_ << "[" << now << "] " << level_name(level) << " " << component << ": " << message
+         << '\n';
+}
+
+}  // namespace rss::sim

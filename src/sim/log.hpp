@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace rss::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Minimal leveled logger for simulation tracing. Global threshold, stream
+/// sink, stamped with simulation time when the caller provides one.
+/// Deliberately tiny: experiments produce their data through metrics
+/// recorders, not log scraping, so this only serves debugging.
+class Log {
+ public:
+  static LogLevel threshold() { return threshold_; }
+  static void set_threshold(LogLevel level) { threshold_ = level; }
+  static void set_sink(std::ostream* os) { sink_ = os; }
+
+  static bool enabled(LogLevel level) { return level >= threshold_ && sink_ != nullptr; }
+
+  static void write(LogLevel level, Time now, std::string_view component,
+                    std::string_view message);
+
+ private:
+  static inline LogLevel threshold_ = LogLevel::kWarn;
+  static inline std::ostream* sink_ = &std::clog;
+};
+
+#define RSS_LOG(level, sim_time, component, expr)                           \
+  do {                                                                      \
+    if (::rss::sim::Log::enabled(level)) {                                  \
+      std::ostringstream rss_log_oss_;                                      \
+      rss_log_oss_ << expr;                                                 \
+      ::rss::sim::Log::write(level, sim_time, component, rss_log_oss_.str()); \
+    }                                                                       \
+  } while (0)
+
+#define RSS_TRACE(sim_time, component, expr) \
+  RSS_LOG(::rss::sim::LogLevel::kTrace, sim_time, component, expr)
+#define RSS_DEBUG(sim_time, component, expr) \
+  RSS_LOG(::rss::sim::LogLevel::kDebug, sim_time, component, expr)
+#define RSS_INFO(sim_time, component, expr) \
+  RSS_LOG(::rss::sim::LogLevel::kInfo, sim_time, component, expr)
+#define RSS_WARN(sim_time, component, expr) \
+  RSS_LOG(::rss::sim::LogLevel::kWarn, sim_time, component, expr)
+
+}  // namespace rss::sim

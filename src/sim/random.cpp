@@ -1,0 +1,31 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+namespace rss::sim {
+
+double Rng::next_exponential(double mean) {
+  // Inverse CDF; guard the log argument away from zero.
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(1.0 - u);
+}
+
+double Rng::next_normal(double mu, double sigma) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mu + sigma * spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mu + sigma * u * factor;
+}
+
+}  // namespace rss::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rss::sim {
+
+/// Deterministic pseudo-random source for workloads and jitter.
+///
+/// xoshiro256** seeded through splitmix64, the standard recipe: fast,
+/// high quality, and — unlike std::mt19937_64 — cheap to copy, so each
+/// flow/app can own an independent stream forked from one master seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the scalar seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word (xoshiro256** next()).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (Lemire-style rejection-free
+  /// multiply-shift is overkill here; modulo bias over a 64-bit range with
+  /// simulation-scale spans is negligible, but we debias anyway).
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range requested
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() - std::numeric_limits<std::uint64_t>::max() % span;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + v % span;
+  }
+
+  /// Exponential variate with the given mean (> 0). Used for Poisson
+  /// cross-traffic inter-arrivals.
+  double next_exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double next_normal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Fork an independent stream (jump-free: derives a child seed from the
+  /// parent stream; adequate independence for simulation workloads).
+  Rng fork() { return Rng{next_u64() ^ 0xd1b54a32d192ed03ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+  bool have_spare_normal_{false};
+  double spare_normal_{0.0};
+};
+
+}  // namespace rss::sim

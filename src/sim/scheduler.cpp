@@ -1,0 +1,65 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rss::sim {
+
+EventId Scheduler::schedule_at(Time at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
+  if (!cb) throw std::invalid_argument("Scheduler: null callback");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq, std::move(cb)});
+  live_.insert(seq);
+  return EventId{seq};
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return live_.erase(id.raw()) > 0;
+}
+
+void Scheduler::skim_dead() const {
+  // const because next_event_time() must be able to look past cancelled
+  // entries; popping them is observationally pure (they can never fire).
+  while (!queue_.empty() && !live_.contains(queue_.top().seq)) queue_.pop();
+}
+
+Time Scheduler::next_event_time() const {
+  skim_dead();
+  return queue_.empty() ? Time::infinity() : queue_.top().at;
+}
+
+bool Scheduler::step() {
+  if (stop_requested_) return false;
+  skim_dead();
+  if (queue_.empty()) return false;
+  // Move the callback out before popping so re-entrant schedule() calls from
+  // inside the callback cannot invalidate the entry we are executing.
+  Entry entry{queue_.top().at, queue_.top().seq,
+              std::move(const_cast<Entry&>(queue_.top()).cb)};
+  queue_.pop();
+  live_.erase(entry.seq);
+  now_ = entry.at;
+  ++executed_;
+  entry.cb();
+  return true;
+}
+
+void Scheduler::run() {
+  stop_requested_ = false;
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(Time until) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    skim_dead();
+    if (queue_.empty() || queue_.top().at > until) break;
+    step();
+  }
+  if (!stop_requested_ && now_ < until) now_ = until;
+}
+
+}  // namespace rss::sim

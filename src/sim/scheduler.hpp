@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rss::sim {
+
+/// Opaque handle to a scheduled event, used for cancellation. Default
+/// constructed handles are inert (cancel() on them is a no-op).
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t raw() const { return id_; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class Scheduler;
+  constexpr explicit EventId(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_{0};
+};
+
+/// Discrete-event scheduler: a min-heap of (time, insertion-sequence)
+/// ordered callbacks.
+///
+/// Same-timestamp events fire in insertion order (the sequence tiebreak),
+/// which keeps simulations deterministic regardless of heap internals —
+/// a correctness requirement, not a nicety: TCP ACK processing and link
+/// drain events frequently coincide.
+///
+/// Cancellation is lazy: cancel() removes the id from the live set and the
+/// pop loop discards entries that are no longer live. This keeps
+/// schedule/cancel O(log n) amortized without intrusive heap surgery. TCP
+/// retransmission timers are rescheduled on every ACK, so this path is hot.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time. Monotonically non-decreasing.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Schedule `cb` after relative delay `delay` (must be >= 0).
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+
+  /// Cancel a pending event. Safe to call with an already-fired, already-
+  /// cancelled, or default-constructed id; returns true iff something was
+  /// actually cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Run events with timestamp <= `until`; afterwards now() == min(until,
+  /// stop time). Events scheduled at exactly `until` do fire.
+  void run_until(Time until);
+
+  /// Fire at most one event; returns false if none was pending (or stop was
+  /// requested). Useful for single-stepping in tests.
+  bool step();
+
+  /// Request run()/run_until() to return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Timestamp of the next pending event, or Time::infinity() if none.
+  [[nodiscard]] Time next_event_time() const;
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;  // insertion order; tiebreak AND cancellation id
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop dead (cancelled) entries off the top of the heap.
+  void skim_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;
+  Time now_{Time::zero()};
+  std::uint64_t next_seq_{1};
+  std::uint64_t executed_{0};
+  bool stop_requested_{false};
+};
+
+}  // namespace rss::sim

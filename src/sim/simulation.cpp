@@ -1,0 +1,20 @@
+#include "sim/simulation.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace rss::sim {
+
+void Simulation::every(Time period, std::function<bool(Time)> fn) {
+  // Self-rescheduling tick. The shared_ptr keeps the callable alive across
+  // reschedules; the lambda captures `this`, which outlives the scheduler's
+  // queue by construction (the queue is a member of *this).
+  auto tick = std::make_shared<std::function<void()>>();
+  auto fn_shared = std::make_shared<std::function<bool(Time)>>(std::move(fn));
+  *tick = [this, period, fn_shared, tick]() {
+    if ((*fn_shared)(scheduler_.now())) scheduler_.schedule_in(period, *tick);
+  };
+  scheduler_.schedule_in(period, *tick);
+}
+
+}  // namespace rss::sim

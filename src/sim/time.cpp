@@ -1,0 +1,17 @@
+#include "sim/time.hpp"
+
+#include <ostream>
+
+namespace rss::sim {
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  if (t.is_infinite()) return os << "+inf";
+  const std::int64_t ns = t.nanoseconds_count();
+  // Pick the coarsest unit that loses nothing, for readable traces.
+  if (ns % 1'000'000'000 == 0) return os << ns / 1'000'000'000 << "s";
+  if (ns % 1'000'000 == 0) return os << ns / 1'000'000 << "ms";
+  if (ns % 1'000 == 0) return os << ns / 1'000 << "us";
+  return os << ns << "ns";
+}
+
+}  // namespace rss::sim

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace rss::sim {
+
+/// Simulation time, an absolute instant or a duration, with nanosecond
+/// resolution stored in a signed 64-bit counter (covers ~292 years, far
+/// beyond any simulation horizon).
+///
+/// A single type serves both instants and durations — the arithmetic that
+/// matters (instant + duration, instant - instant) is closed over it, and
+/// network-simulation code mixes the two freely (ns-3 makes the same call).
+/// All factories and accessors are constexpr so link rates and RTTs can be
+/// compile-time constants.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+  [[nodiscard]] static constexpr Time microseconds(std::int64_t us) { return Time{us * 1'000}; }
+  [[nodiscard]] static constexpr Time milliseconds(std::int64_t ms) { return Time{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Time seconds(std::int64_t s) { return Time{s * 1'000'000'000}; }
+
+  /// Fractional seconds, rounding to the nearest nanosecond.
+  [[nodiscard]] static constexpr Time from_seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  /// Sentinel meaning "never"; compares greater than every reachable time.
+  [[nodiscard]] static constexpr Time infinity() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanoseconds_count() const { return ns_; }
+  [[nodiscard]] constexpr std::int64_t microseconds_count() const { return ns_ / 1'000; }
+  [[nodiscard]] constexpr std::int64_t milliseconds_count() const { return ns_ / 1'000'000; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+  [[nodiscard]] constexpr bool is_infinite() const { return *this == infinity(); }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  template <std::integral I>
+  [[nodiscard]] friend constexpr Time operator*(Time a, I k) {
+    return Time{a.ns_ * static_cast<std::int64_t>(k)};
+  }
+  template <std::integral I>
+  [[nodiscard]] friend constexpr Time operator*(I k, Time a) {
+    return Time{a.ns_ * static_cast<std::int64_t>(k)};
+  }
+  [[nodiscard]] friend constexpr Time operator*(Time a, double k) {
+    return Time::from_seconds(a.to_seconds() * k);
+  }
+  template <std::integral I>
+  [[nodiscard]] friend constexpr Time operator/(Time a, I k) {
+    return Time{a.ns_ / static_cast<std::int64_t>(k)};
+  }
+  /// Ratio of two durations.
+  [[nodiscard]] friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+[[nodiscard]] constexpr Time min(Time a, Time b) { return a < b ? a : b; }
+[[nodiscard]] constexpr Time max(Time a, Time b) { return a < b ? b : a; }
+
+namespace literals {
+[[nodiscard]] constexpr Time operator""_ns(unsigned long long v) {
+  return Time::nanoseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_us(unsigned long long v) {
+  return Time::microseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_ms(unsigned long long v) {
+  return Time::milliseconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_s(unsigned long long v) {
+  return Time::seconds(static_cast<std::int64_t>(v));
+}
+[[nodiscard]] constexpr Time operator""_s(long double v) {
+  return Time::from_seconds(static_cast<double>(v));
+}
+}  // namespace literals
+
+}  // namespace rss::sim

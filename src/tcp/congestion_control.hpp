@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace rss::tcp {
+
+/// The sender-side state a congestion-control algorithm may read and the
+/// window variables it owns. Implemented by TcpSender; passed to the
+/// algorithm at attach time so algorithms stay header-decoupled from the
+/// sender machinery (and unit-testable against a mock host).
+class CcHost {
+ public:
+  virtual ~CcHost() = default;
+
+  [[nodiscard]] virtual double cwnd_bytes() const = 0;
+  virtual void set_cwnd_bytes(double cwnd) = 0;
+  [[nodiscard]] virtual double ssthresh_bytes() const = 0;
+  virtual void set_ssthresh_bytes(double ssthresh) = 0;
+
+  [[nodiscard]] virtual std::uint32_t mss() const = 0;
+  /// Bytes currently in flight (sent, not yet cumulatively acked).
+  [[nodiscard]] virtual std::uint64_t flight_size_bytes() const = 0;
+  [[nodiscard]] virtual sim::Time now() const = 0;
+
+  /// Occupancy (packets, including the one on the wire) and capacity of the
+  /// local interface queue the connection transmits through — the process
+  /// variable of Restricted Slow-Start. Zero capacity means "unknown".
+  [[nodiscard]] virtual std::size_t ifq_occupancy_packets() const = 0;
+  [[nodiscard]] virtual std::size_t ifq_capacity_packets() const = 0;
+
+  /// Smoothed RTT (zero until the first sample).
+  [[nodiscard]] virtual sim::Time srtt() const = 0;
+};
+
+/// Pluggable congestion-control algorithm. The TcpSender drives the state
+/// machine (dupack counting, recovery bookkeeping, RTO) and calls these
+/// hooks at the decision points; algorithms only move cwnd/ssthresh.
+///
+/// Contract notes:
+///  * on_ack fires for new cumulative ACKs outside fast recovery —
+///    algorithms implement their slow-start / congestion-avoidance growth
+///    here.
+///  * on_fast_retransmit fires when the 3rd dupack triggers a retransmit;
+///    the algorithm sets ssthresh (sender then inflates cwnd per NewReno).
+///  * on_retransmit_timeout fires on RTO expiry, before go-back-N.
+///  * on_local_congestion fires on a send-stall (IFQ rejected a locally
+///    originated segment). Stock algorithms mirror Linux 2.4: treat it as a
+///    congestion signal. RSS additionally re-centres its controller.
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Called once when attached to a sender, before any traffic.
+  virtual void attach(CcHost& host) { host_ = &host; }
+
+  virtual void on_ack(std::uint32_t acked_bytes) = 0;
+  virtual void on_fast_retransmit() = 0;
+  virtual void on_retransmit_timeout() = 0;
+  /// Returns true iff the algorithm actually reduced the window (Linux
+  /// rate-limits CWR entry to once per RTT, so repeated stalls within one
+  /// window are counted but produce no further reduction).
+  virtual bool on_local_congestion() = 0;
+
+  /// True while the algorithm considers itself in slow-start (diagnostic;
+  /// the sender records phase transitions through this).
+  [[nodiscard]] virtual bool in_slow_start() const = 0;
+
+  /// Whether the sender should run NewReno fast recovery (window inflation
+  /// and partial-ACK retransmission) after on_fast_retransmit(). Tahoe
+  /// returns false: it collapses to one segment and slow-starts again.
+  [[nodiscard]] virtual bool use_fast_recovery() const { return true; }
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+ protected:
+  [[nodiscard]] CcHost& host() const { return *host_; }
+  CcHost* host_{nullptr};
+};
+
+/// Factory signature used by scenario builders so experiments can be
+/// parameterized over algorithms.
+using CongestionControlFactory = std::unique_ptr<CongestionControl> (*)();
+
+}  // namespace rss::tcp

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "tcp/reno.hpp"
+
+namespace rss::tcp {
+
+/// HighSpeed TCP (RFC 3649, Floyd 2003) — the era's remedy for the *other*
+/// half of the large-BDP problem the paper's introduction frames: once
+/// slow-start is survived, standard AIMD needs thousands of RTTs to reach
+/// a large window. HSTCP makes the increase a(w) super-linear and the
+/// decrease b(w) gentler above a low-window threshold, reverting exactly
+/// to Reno below it.
+///
+/// Uses the RFC's closed-form response function with the standard
+/// parameters: Low_Window = 38 segments, High_Window = 83000,
+/// High_P = 1e-7, High_Decrease = 0.1. For w > Low_Window:
+///
+///   p(w)  = exp(log(Low_P) + (log(w)-log(Low_W)) /
+///                (log(High_W)-log(Low_W)) * (log(High_P)-log(Low_P)))
+///   b(w)  = 0.5 + (log(w)-log(Low_W)) / (log(High_W)-log(Low_W)) * (0.1-0.5)
+///   a(w)  = w^2 * p(w) * 2 * b(w) / (2 - b(w))
+///
+/// Slow-start is *unchanged* from Reno — which is precisely the gap
+/// Restricted Slow-Start fills; see HighSpeedRestrictedSlowStart in
+/// core/highspeed_rss.hpp for the composition.
+class HighSpeedCongestionControl : public RenoCongestionControl {
+ public:
+  struct HsOptions {
+    double low_window_segments{38.0};
+    double high_window_segments{83000.0};
+    double high_p{1e-7};
+    double high_decrease{0.1};
+    Options reno{};
+  };
+
+  HighSpeedCongestionControl() = default;
+  explicit HighSpeedCongestionControl(HsOptions opt)
+      : RenoCongestionControl(opt.reno), hs_{opt} {}
+
+  void on_ack(std::uint32_t acked_bytes) override {
+    CcHost& h = host();
+    const auto mss = static_cast<double>(h.mss());
+    if (in_slow_start()) {
+      h.set_cwnd_bytes(h.cwnd_bytes() + std::min<double>(acked_bytes, mss));
+      return;
+    }
+    // a(w)/w per ACK == a(w) per RTT.
+    const double w = h.cwnd_bytes() / mss;
+    h.set_cwnd_bytes(h.cwnd_bytes() + increase_a(w) * mss / w);
+  }
+
+  void on_fast_retransmit() override {
+    CcHost& h = host();
+    const double w =
+        static_cast<double>(h.flight_size_bytes()) / static_cast<double>(h.mss());
+    const double b = decrease_b(w);
+    h.set_ssthresh_bytes(std::max((1.0 - b) * static_cast<double>(h.flight_size_bytes()),
+                                  2.0 * static_cast<double>(h.mss())));
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "highspeed"; }
+
+  /// RFC 3649 §5 response function pieces, public for direct unit testing.
+  [[nodiscard]] double increase_a(double w_segments) const;
+  [[nodiscard]] double decrease_b(double w_segments) const;
+
+ protected:
+  HsOptions hs_{};
+};
+
+inline double HighSpeedCongestionControl::decrease_b(double w) const {
+  if (w <= hs_.low_window_segments) return 0.5;
+  const double frac = (std::log(w) - std::log(hs_.low_window_segments)) /
+                      (std::log(hs_.high_window_segments) - std::log(hs_.low_window_segments));
+  return 0.5 + frac * (hs_.high_decrease - 0.5);
+}
+
+inline double HighSpeedCongestionControl::increase_a(double w) const {
+  if (w <= hs_.low_window_segments) return 1.0;
+  // Low_P: loss rate at which stock TCP sustains Low_Window: p = 1.5/w^2.
+  const double low_p = 1.5 / (hs_.low_window_segments * hs_.low_window_segments);
+  const double frac = (std::log(w) - std::log(hs_.low_window_segments)) /
+                      (std::log(hs_.high_window_segments) - std::log(hs_.low_window_segments));
+  const double p = std::exp(std::log(low_p) + frac * (std::log(hs_.high_p) - std::log(low_p)));
+  const double b = decrease_b(w);
+  return std::max(1.0, w * w * p * 2.0 * b / (2.0 - b));
+}
+
+}  // namespace rss::tcp

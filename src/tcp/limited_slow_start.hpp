@@ -1,0 +1,49 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "tcp/reno.hpp"
+
+namespace rss::tcp {
+
+/// Limited Slow-Start (RFC 3742) — the era's IETF answer to the same burst
+/// problem RSS attacks, included as the second baseline (DESIGN.md TAB-1).
+///
+/// Up to max_ssthresh the window grows exponentially as usual; beyond it
+/// the per-ACK increment is MSS/K with K = ceil(cwnd / (0.5·max_ssthresh)),
+/// capping growth at max_ssthresh/2 per RTT. Everything else is Reno.
+class LimitedSlowStart final : public RenoCongestionControl {
+ public:
+  struct LssOptions {
+    std::uint32_t max_ssthresh_segments{100};  ///< RFC 3742 suggested value
+    Options reno{};
+  };
+
+  LimitedSlowStart() = default;
+  explicit LimitedSlowStart(LssOptions opt)
+      : RenoCongestionControl(opt.reno), lss_opt_{opt} {}
+
+  void on_ack(std::uint32_t acked_bytes) override {
+    CcHost& h = host();
+    const auto mss = static_cast<double>(h.mss());
+    if (!in_slow_start()) {
+      h.set_cwnd_bytes(h.cwnd_bytes() + mss * mss / h.cwnd_bytes());
+      return;
+    }
+    const double max_ssthresh = static_cast<double>(lss_opt_.max_ssthresh_segments) * mss;
+    if (h.cwnd_bytes() <= max_ssthresh) {
+      h.set_cwnd_bytes(h.cwnd_bytes() + std::min<double>(acked_bytes, mss));
+    } else {
+      const double k = std::ceil(h.cwnd_bytes() / (0.5 * max_ssthresh));
+      h.set_cwnd_bytes(h.cwnd_bytes() + mss / k);
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "limited-slow-start"; }
+
+ private:
+  LssOptions lss_opt_{};
+};
+
+}  // namespace rss::tcp

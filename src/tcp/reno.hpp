@@ -1,0 +1,85 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tcp/congestion_control.hpp"
+
+namespace rss::tcp {
+
+/// Stock TCP congestion control of the paper's baseline ("standard Linux
+/// TCP"): RFC 5681 slow-start and congestion avoidance, with the Linux 2.4
+/// local-congestion (CWR) reaction to send-stalls — the behaviour the paper
+/// §2 identifies as the problem.
+class RenoCongestionControl : public CongestionControl {
+ public:
+  struct Options {
+    std::uint32_t initial_cwnd_segments{2};   ///< RFC 5681 IW for MSS 1460
+    double initial_ssthresh_bytes{1 << 30};   ///< effectively unbounded
+    /// Linux `tcp_enter_cwr` rate limit: react to local congestion at most
+    /// once per SRTT (further stalls in the same window are counted but do
+    /// not re-halve).
+    bool rate_limit_local_congestion{true};
+  };
+
+  RenoCongestionControl() = default;
+  explicit RenoCongestionControl(Options opt) : opt_{opt} {}
+
+  void attach(CcHost& host) override {
+    CongestionControl::attach(host);
+    host.set_cwnd_bytes(static_cast<double>(opt_.initial_cwnd_segments * host.mss()));
+    host.set_ssthresh_bytes(opt_.initial_ssthresh_bytes);
+  }
+
+  void on_ack(std::uint32_t acked_bytes) override {
+    CcHost& h = host();
+    const auto mss = static_cast<double>(h.mss());
+    if (in_slow_start()) {
+      // RFC 5681: cwnd += min(N, SMSS) per ACK.
+      h.set_cwnd_bytes(h.cwnd_bytes() + std::min<double>(acked_bytes, mss));
+    } else {
+      // Congestion avoidance: ~1 MSS per RTT.
+      h.set_cwnd_bytes(h.cwnd_bytes() + mss * mss / h.cwnd_bytes());
+    }
+  }
+
+  void on_fast_retransmit() override { set_ssthresh_to_half_flight(); }
+
+  void on_retransmit_timeout() override {
+    set_ssthresh_to_half_flight();
+    host().set_cwnd_bytes(static_cast<double>(host().mss()));  // RFC 5681 §3.1: LW = 1 SMSS
+  }
+
+  bool on_local_congestion() override {
+    CcHost& h = host();
+    if (opt_.rate_limit_local_congestion) {
+      const sim::Time guard = h.srtt().is_zero() ? sim::Time::milliseconds(200) : h.srtt();
+      if (last_cwr_ > sim::Time::zero() && h.now() < last_cwr_ + guard) return false;
+      last_cwr_ = h.now();
+    }
+    // Linux 2.4 tcp_enter_cwr: treat exactly like network congestion.
+    const double mss2 = 2.0 * static_cast<double>(h.mss());
+    const double target = std::max(h.cwnd_bytes() / 2.0, mss2);
+    h.set_ssthresh_bytes(target);
+    h.set_cwnd_bytes(target);  // cwnd == ssthresh: slow-start is over
+    return true;
+  }
+
+  [[nodiscard]] bool in_slow_start() const override {
+    return host().cwnd_bytes() < host().ssthresh_bytes();
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "reno"; }
+
+ protected:
+  void set_ssthresh_to_half_flight() {
+    CcHost& h = host();
+    const double half_flight = static_cast<double>(h.flight_size_bytes()) / 2.0;
+    h.set_ssthresh_bytes(std::max(half_flight, 2.0 * static_cast<double>(h.mss())));
+  }
+
+  Options opt_{};
+  sim::Time last_cwr_{sim::Time::zero()};
+};
+
+}  // namespace rss::tcp

@@ -1,0 +1,41 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+
+namespace rss::tcp {
+
+void RttEstimator::add_sample(sim::Time measured) {
+  if (measured < sim::Time::zero()) return;
+  min_rtt_ = std::min(min_rtt_, measured);
+
+  if (!has_sample_) {
+    // RFC 6298 (2.2): SRTT <- R, RTTVAR <- R/2.
+    srtt_ = measured;
+    rttvar_ = measured / 2;
+    has_sample_ = true;
+  } else {
+    // RFC 6298 (2.3): RTTVAR before SRTT, using the old SRTT.
+    const sim::Time err = srtt_ > measured ? srtt_ - measured : measured - srtt_;
+    rttvar_ = sim::Time::from_seconds((1.0 - opt_.beta) * rttvar_.to_seconds() +
+                                      opt_.beta * err.to_seconds());
+    srtt_ = sim::Time::from_seconds((1.0 - opt_.alpha) * srtt_.to_seconds() +
+                                    opt_.alpha * measured.to_seconds());
+  }
+  rto_ = srtt_ + rttvar_ * static_cast<std::int64_t>(opt_.k);
+  rto_ = std::clamp(rto_, opt_.min_rto, opt_.max_rto);
+}
+
+sim::Time RttEstimator::rto() const {
+  sim::Time t = has_sample_ ? rto_ : opt_.initial_rto;
+  for (int i = 0; i < backoff_shift_; ++i) {
+    t = t * 2;
+    if (t >= opt_.max_rto) return opt_.max_rto;
+  }
+  return std::min(t, opt_.max_rto);
+}
+
+void RttEstimator::backoff() {
+  if (backoff_shift_ < 16) ++backoff_shift_;
+}
+
+}  // namespace rss::tcp

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rss::tcp {
+
+/// RFC 6298 round-trip-time estimation and retransmission-timeout
+/// computation (the Jacobson/Karels SRTT/RTTVAR filter plus exponential
+/// backoff), with the Linux-style 200 ms minimum RTO floor of the paper's
+/// era.
+class RttEstimator {
+ public:
+  struct Options {
+    sim::Time initial_rto{sim::Time::seconds(1)};  // RFC 6298 §2.1
+    sim::Time min_rto{sim::Time::milliseconds(200)};
+    sim::Time max_rto{sim::Time::seconds(60)};
+    double alpha{0.125};  // SRTT gain
+    double beta{0.25};    // RTTVAR gain
+    int k{4};             // RTO = SRTT + K*RTTVAR
+  };
+
+  RttEstimator() = default;
+  explicit RttEstimator(Options opt) : opt_{opt}, rto_{opt.initial_rto} {}
+
+  /// Feed one RTT measurement (Karn-filtered by the caller: never from a
+  /// retransmitted segment).
+  void add_sample(sim::Time measured);
+
+  /// Current retransmission timeout, including any backoff in force.
+  [[nodiscard]] sim::Time rto() const;
+
+  /// Double the timeout (retransmission timer fired). RFC 6298 §5.5.
+  void backoff();
+
+  /// Clear backoff (new ACK arrived). RFC 6298 §5.7 + Karn.
+  void reset_backoff() { backoff_shift_ = 0; }
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] sim::Time srtt() const { return srtt_; }
+  [[nodiscard]] sim::Time rttvar() const { return rttvar_; }
+  [[nodiscard]] sim::Time min_rtt() const { return min_rtt_; }
+  [[nodiscard]] int backoff_shift() const { return backoff_shift_; }
+
+ private:
+  Options opt_{};
+  bool has_sample_{false};
+  sim::Time srtt_{sim::Time::zero()};
+  sim::Time rttvar_{sim::Time::zero()};
+  sim::Time min_rtt_{sim::Time::infinity()};
+  sim::Time rto_{sim::Time::seconds(1)};
+  int backoff_shift_{0};
+};
+
+}  // namespace rss::tcp

@@ -1,0 +1,9 @@
+#include "tcp/sequence.hpp"
+
+#include <ostream>
+
+namespace rss::tcp {
+
+std::ostream& operator<<(std::ostream& os, SeqNum s) { return os << s.raw(); }
+
+}  // namespace rss::tcp

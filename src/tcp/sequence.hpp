@@ -1,0 +1,48 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace rss::tcp {
+
+/// 32-bit TCP sequence number with RFC 793 modular ("serial number")
+/// comparison semantics: a < b iff the signed distance from a to b is
+/// positive. Correct across the 2^32 wrap as long as compared values are
+/// within 2^31 of each other — guaranteed by TCP's window limits.
+class SeqNum {
+ public:
+  constexpr SeqNum() = default;
+  constexpr explicit SeqNum(std::uint32_t raw) : raw_{raw} {}
+
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+
+  [[nodiscard]] friend constexpr SeqNum operator+(SeqNum s, std::uint32_t bytes) {
+    return SeqNum{s.raw_ + bytes};  // unsigned wrap is the intended modular add
+  }
+  [[nodiscard]] friend constexpr SeqNum operator-(SeqNum s, std::uint32_t bytes) {
+    return SeqNum{s.raw_ - bytes};
+  }
+
+  /// Signed modular distance from `from` to `to` (positive if `to` is
+  /// logically ahead). Callers use it for "bytes newly acked" deltas.
+  [[nodiscard]] friend constexpr std::int32_t distance(SeqNum from, SeqNum to) {
+    return static_cast<std::int32_t>(to.raw_ - from.raw_);
+  }
+
+  [[nodiscard]] friend constexpr bool operator==(SeqNum a, SeqNum b) { return a.raw_ == b.raw_; }
+  [[nodiscard]] friend constexpr bool operator!=(SeqNum a, SeqNum b) { return a.raw_ != b.raw_; }
+  [[nodiscard]] friend constexpr bool operator<(SeqNum a, SeqNum b) {
+    return distance(a, b) > 0;
+  }
+  [[nodiscard]] friend constexpr bool operator>(SeqNum a, SeqNum b) { return b < a; }
+  [[nodiscard]] friend constexpr bool operator<=(SeqNum a, SeqNum b) { return !(b < a); }
+  [[nodiscard]] friend constexpr bool operator>=(SeqNum a, SeqNum b) { return !(a < b); }
+
+ private:
+  std::uint32_t raw_{0};
+};
+
+std::ostream& operator<<(std::ostream& os, SeqNum s);
+
+}  // namespace rss::tcp

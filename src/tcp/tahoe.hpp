@@ -1,0 +1,29 @@
+#pragma once
+
+#include "tcp/reno.hpp"
+
+namespace rss::tcp {
+
+/// TCP Tahoe: the pre-Reno baseline — identical slow-start/congestion-
+/// avoidance growth, but *every* loss indication (including the third
+/// duplicate ACK) collapses the window to one segment and restarts
+/// slow-start. Included as the historical floor for the comparison tables:
+/// it makes the cost of slow-start restarts on a large-BDP path vivid.
+class TahoeCongestionControl final : public RenoCongestionControl {
+ public:
+  TahoeCongestionControl() = default;
+  explicit TahoeCongestionControl(Options opt) : RenoCongestionControl(opt) {}
+
+  void on_fast_retransmit() override {
+    // Tahoe has no fast recovery: halve ssthresh, drop to 1 MSS, slow-start
+    // again (use_fast_recovery() = false keeps the sender from inflating).
+    set_ssthresh_to_half_flight();
+    host().set_cwnd_bytes(static_cast<double>(host().mss()));
+  }
+
+  [[nodiscard]] bool use_fast_recovery() const override { return false; }
+
+  [[nodiscard]] std::string_view name() const override { return "tahoe"; }
+};
+
+}  // namespace rss::tcp

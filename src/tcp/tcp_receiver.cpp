@@ -1,0 +1,137 @@
+#include "tcp/tcp_receiver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace rss::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulation& simulation, net::Node& node, Options options)
+    : sim_{simulation}, node_{node}, opt_{options}, rcv_nxt_{options.initial_seq} {
+  if (opt_.ack_every < 1) throw std::invalid_argument("TcpReceiver: ack_every must be >= 1");
+  node_.register_flow_handler(opt_.flow_id, [this](const net::Packet& p) { on_packet(p); });
+}
+
+void TcpReceiver::on_packet(const net::Packet& p) {
+  if (!p.is_data()) return;  // receiver side only consumes data segments
+  ++packets_received_;
+
+  const SeqNum seq{p.tcp.seq};
+  const SeqNum seg_end = seq + p.payload_bytes;
+
+  if (seg_end <= rcv_nxt_) {
+    // Entirely old (spurious retransmission): re-ACK immediately so the
+    // sender's state converges.
+    ++duplicates_;
+    send_ack();
+    return;
+  }
+
+  if (seq > rcv_nxt_) {
+    // Gap: buffer and emit an immediate duplicate ACK (RFC 5681 §3.2).
+    ++out_of_order_;
+    auto [it, inserted] = ooo_.emplace(seq, p.payload_bytes);
+    if (!inserted && p.payload_bytes > it->second) it->second = p.payload_bytes;
+    last_ooo_seq_ = seq;
+    send_ack();
+    return;
+  }
+
+  // In-order (possibly partially duplicate) segment: advance rcv_nxt.
+  const auto fresh = static_cast<std::uint32_t>(distance(rcv_nxt_, seg_end));
+  rcv_nxt_ = seg_end;
+  bytes_received_ += fresh;
+
+  // Pull any now-contiguous buffered segments.
+  bool filled_gap = false;
+  while (!ooo_.empty()) {
+    const auto it = ooo_.begin();
+    const SeqNum buf_start = it->first;
+    const SeqNum buf_end = buf_start + it->second;
+    if (buf_start > rcv_nxt_) break;
+    if (buf_end > rcv_nxt_) {
+      bytes_received_ += static_cast<std::uint32_t>(distance(rcv_nxt_, buf_end));
+      rcv_nxt_ = buf_end;
+      filled_gap = true;
+    }
+    ooo_.erase(it);
+  }
+
+  if (filled_gap) {
+    // ACK immediately after a gap fill so recovery completes promptly.
+    send_ack();
+    return;
+  }
+
+  const bool quickack = packets_received_ <= opt_.quickack_segments;
+  if (quickack || ++unacked_arrivals_ >= opt_.ack_every) {
+    send_ack();
+  } else {
+    schedule_delayed_ack();
+  }
+}
+
+void TcpReceiver::send_ack() {
+  if (delack_timer_.valid()) {
+    sim_.cancel(delack_timer_);
+    delack_timer_ = sim::EventId{};
+  }
+  unacked_arrivals_ = 0;
+
+  net::Packet ack;
+  ack.uid = uid_source_.next();
+  ack.flow_id = opt_.flow_id;
+  ack.dst_node = opt_.peer_node;
+  ack.payload_bytes = 0;
+  ack.tcp.is_ack = true;
+  ack.tcp.ack = rcv_nxt_.raw();
+  ack.tcp.advertised_window = opt_.advertised_window;
+  if (opt_.enable_sack && !ooo_.empty()) fill_sack_blocks(ack.tcp);
+  // An ACK rejected by the local IFQ is simply lost; cumulative ACKs are
+  // self-repairing, so no further action is needed.
+  (void)node_.send(ack);
+  ++acks_sent_;
+}
+
+void TcpReceiver::fill_sack_blocks(net::TcpHeader& header) const {
+  // Merge contiguous reassembly-buffer entries into blocks (ascending).
+  struct Block {
+    SeqNum start;
+    SeqNum end;
+  };
+  std::vector<Block> blocks;
+  for (const auto& [seq, len] : ooo_) {
+    const SeqNum end = seq + len;
+    if (!blocks.empty() && seq <= blocks.back().end) {
+      if (end > blocks.back().end) blocks.back().end = end;
+    } else {
+      blocks.push_back({seq, end});
+    }
+  }
+  // RFC 2018 §4: the block containing the most recently received segment
+  // comes first, so the sender learns about the newest arrival even if the
+  // list is truncated.
+  if (last_ooo_seq_) {
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+      if (blocks[i].start <= *last_ooo_seq_ && *last_ooo_seq_ < blocks[i].end) {
+        std::rotate(blocks.begin(), blocks.begin() + static_cast<std::ptrdiff_t>(i),
+                    blocks.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        break;
+      }
+    }
+  }
+  header.sack_count = static_cast<std::uint8_t>(std::min<std::size_t>(blocks.size(), 3));
+  for (std::size_t i = 0; i < header.sack_count; ++i) {
+    header.sack[i] = {blocks[i].start.raw(), blocks[i].end.raw()};
+  }
+}
+
+void TcpReceiver::schedule_delayed_ack() {
+  if (delack_timer_.valid()) return;
+  delack_timer_ = sim_.in(opt_.delayed_ack_timeout, [this] {
+    delack_timer_ = sim::EventId{};
+    if (unacked_arrivals_ > 0) send_ack();
+  });
+}
+
+}  // namespace rss::tcp

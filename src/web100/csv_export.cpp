@@ -1,0 +1,35 @@
+#include "web100/csv_export.hpp"
+
+#include <stdexcept>
+
+#include "metrics/csv.hpp"
+
+namespace rss::web100 {
+
+std::size_t export_csv(const PollingAgent& agent, std::ostream& os,
+                       const std::vector<std::string>& variables, sim::Time start,
+                       sim::Time end, sim::Time period) {
+  if (variables.empty()) throw std::invalid_argument("export_csv: no variables");
+  if (period <= sim::Time::zero()) throw std::invalid_argument("export_csv: period must be > 0");
+
+  metrics::CsvWriter csv{os};
+  csv.field("t_s");
+  for (const auto& name : variables) csv.field(std::string_view{name});
+  csv.endrow();
+
+  std::size_t rows = 0;
+  for (sim::Time t = start; t <= end; t += period) {
+    csv.field(t.to_seconds());
+    for (const auto& name : variables) csv.field(agent.series(name).value_at(t));
+    csv.endrow();
+    ++rows;
+  }
+  return rows;
+}
+
+std::size_t export_csv(const PollingAgent& agent, std::ostream& os, sim::Time start,
+                       sim::Time end, sim::Time period) {
+  return export_csv(agent, os, agent.variable_names(), start, end, period);
+}
+
+}  // namespace rss::web100

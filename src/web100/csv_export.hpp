@@ -1,0 +1,26 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "web100/polling_agent.hpp"
+
+namespace rss::web100 {
+
+/// Export a set of polled Web100 variables as a rectangular CSV: one row
+/// per grid instant, one column per variable (step-resampled). This is the
+/// artifact a Web100 `readvars` logging loop produced on the paper's
+/// testbed and what the figure scripts consume.
+///
+/// Returns the number of data rows written.
+std::size_t export_csv(const PollingAgent& agent, std::ostream& os,
+                       const std::vector<std::string>& variables, sim::Time start,
+                       sim::Time end, sim::Time period);
+
+/// Convenience overload: every variable the agent tracks.
+std::size_t export_csv(const PollingAgent& agent, std::ostream& os, sim::Time start,
+                       sim::Time end, sim::Time period);
+
+}  // namespace rss::web100

@@ -1,0 +1,79 @@
+#include "workload/apps.hpp"
+
+#include <stdexcept>
+
+namespace rss::workload {
+
+BulkTransferApp::BulkTransferApp(sim::Simulation& simulation, tcp::TcpSender& sender,
+                                 sim::Time start, std::optional<std::uint64_t> bytes)
+    : start_{start} {
+  simulation.at(start, [this, &sender, bytes] {
+    started_ = true;
+    if (bytes) {
+      sender.app_write(*bytes);
+    } else {
+      sender.set_unlimited(true);
+    }
+  });
+}
+
+OnOffApp::OnOffApp(sim::Simulation& simulation, tcp::TcpSender& sender, Options options)
+    : sim_{simulation}, sender_{sender}, opt_{options} {
+  if (opt_.tick <= sim::Time::zero()) throw std::invalid_argument("OnOffApp: tick must be > 0");
+  sim_.at(opt_.start, [this] { enter_on(); });
+}
+
+void OnOffApp::enter_on() {
+  on_ = true;
+  phase_end_ = sim_.now() + opt_.on_duration;
+  tick();
+}
+
+void OnOffApp::enter_off() {
+  on_ = false;
+  sim_.in(opt_.off_duration, [this] { enter_on(); });
+}
+
+void OnOffApp::tick() {
+  if (sim_.now() >= phase_end_) {
+    enter_off();
+    return;
+  }
+  const std::uint64_t chunk = opt_.rate.bytes_over(opt_.tick);
+  sender_.app_write(chunk);
+  bytes_offered_ += chunk;
+  sim_.in(opt_.tick, [this] { tick(); });
+}
+
+PoissonPacketSource::PoissonPacketSource(sim::Simulation& simulation, net::Node& origin,
+                                         Options options)
+    : sim_{simulation}, origin_{origin}, opt_{options}, rng_{simulation.rng().fork()} {
+  if (opt_.packets_per_second <= 0.0)
+    throw std::invalid_argument("PoissonPacketSource: rate must be > 0");
+  sim_.at(opt_.start, [this] { schedule_next(); });
+}
+
+void PoissonPacketSource::schedule_next() {
+  const double gap_s = rng_.next_exponential(1.0 / opt_.packets_per_second);
+  const sim::Time at = sim_.now() + sim::Time::from_seconds(gap_s);
+  if (at >= opt_.stop) return;
+  sim_.at(at, [this] {
+    emit();
+    schedule_next();
+  });
+}
+
+void PoissonPacketSource::emit() {
+  net::Packet p;
+  p.uid = uid_source_.next();
+  p.flow_id = opt_.flow_id;
+  p.dst_node = opt_.dst_node;
+  p.payload_bytes = opt_.payload_bytes;
+  if (origin_.send(p) == net::Node::SendResult::kSent) {
+    ++sent_;
+  } else {
+    ++stalled_;
+  }
+}
+
+}  // namespace rss::workload

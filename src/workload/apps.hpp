@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/data_rate.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace rss::workload {
+
+/// Bulk transfer: the paper's workload — a single large memory-to-memory
+/// transfer (GridFTP-style). Starts the flow at `start`; either a finite
+/// object of `bytes` or an unbounded source.
+class BulkTransferApp {
+ public:
+  BulkTransferApp(sim::Simulation& simulation, tcp::TcpSender& sender, sim::Time start,
+                  std::optional<std::uint64_t> bytes = std::nullopt);
+
+  [[nodiscard]] sim::Time start_time() const { return start_; }
+  [[nodiscard]] bool started() const { return started_; }
+
+ private:
+  sim::Time start_;
+  bool started_{false};
+};
+
+/// On-off source: alternates `on_duration` of writing at `rate` (chunked
+/// per `tick`) with `off_duration` of silence. Exercises slow-start restart
+/// behaviour and provides bursty foreground traffic for fairness studies.
+class OnOffApp {
+ public:
+  struct Options {
+    sim::Time start{sim::Time::zero()};
+    sim::Time on_duration{sim::Time::seconds(1)};
+    sim::Time off_duration{sim::Time::seconds(1)};
+    net::DataRate rate{net::DataRate::mbps(10)};
+    sim::Time tick{sim::Time::milliseconds(10)};
+  };
+
+  OnOffApp(sim::Simulation& simulation, tcp::TcpSender& sender, Options options);
+
+  [[nodiscard]] std::uint64_t bytes_offered() const { return bytes_offered_; }
+  [[nodiscard]] bool in_on_period() const { return on_; }
+
+ private:
+  void enter_on();
+  void enter_off();
+  void tick();
+
+  sim::Simulation& sim_;
+  tcp::TcpSender& sender_;
+  Options opt_;
+  bool on_{false};
+  sim::Time phase_end_{sim::Time::zero()};
+  std::uint64_t bytes_offered_{0};
+};
+
+/// Poisson datagram source: non-TCP cross-traffic injected directly at a
+/// node, competing for the same IFQ/bottleneck as the measured flow.
+/// Models the "rest of the traffic sharing the congested link" from the
+/// paper's introduction.
+class PoissonPacketSource {
+ public:
+  struct Options {
+    std::uint32_t dst_node{0};
+    std::uint32_t flow_id{0xCAFE};       ///< no handler registered: sink traffic
+    std::uint32_t payload_bytes{1460};
+    double packets_per_second{100.0};
+    sim::Time start{sim::Time::zero()};
+    sim::Time stop{sim::Time::infinity()};
+  };
+
+  PoissonPacketSource(sim::Simulation& simulation, net::Node& origin, Options options);
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t packets_stalled() const { return stalled_; }
+
+ private:
+  void schedule_next();
+  void emit();
+
+  sim::Simulation& sim_;
+  net::Node& origin_;
+  Options opt_;
+  sim::Rng rng_;
+  net::PacketUidSource uid_source_;
+  std::uint64_t sent_{0};
+  std::uint64_t stalled_{0};
+};
+
+}  // namespace rss::workload

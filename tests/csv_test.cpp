@@ -1,0 +1,73 @@
+#include "metrics/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rss::metrics {
+namespace {
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.header({"a", "b", "c"});
+  csv.field(1).field(2.5).field("x").endrow();
+  EXPECT_EQ(os.str(), "a,b,c\n1,2.5,x\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(CsvTest, QuotesFieldsWithSeparators) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.field("hello, world").endrow();
+  EXPECT_EQ(os.str(), "\"hello, world\"\n");
+}
+
+TEST(CsvTest, EscapesEmbeddedQuotes) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.field("say \"hi\"").endrow();
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTest, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.field("two\nlines").endrow();
+  EXPECT_EQ(os.str(), "\"two\nlines\"\n");
+}
+
+TEST(CsvTest, CustomSeparator) {
+  std::ostringstream os;
+  CsvWriter csv{os, ';'};
+  csv.field("a").field("b;c").endrow();
+  EXPECT_EQ(os.str(), "a;\"b;c\"\n");
+}
+
+TEST(CsvTest, DoubleFormattingRoundTrips) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.field(0.1).field(1e-9).field(12345678.9).endrow();
+  EXPECT_EQ(os.str(), "0.1,1e-09,12345678.9\n");
+}
+
+TEST(CsvTest, VectorHeaderOverload) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.header(std::vector<std::string>{"x", "y"});
+  EXPECT_EQ(os.str(), "x,y\n");
+}
+
+TEST(CsvTest, IntegerTypes) {
+  std::ostringstream os;
+  CsvWriter csv{os};
+  csv.field(static_cast<long long>(-7))
+      .field(static_cast<unsigned long long>(7))
+      .field(42)
+      .field(std::size_t{9})
+      .endrow();
+  EXPECT_EQ(os.str(), "-7,7,42,9\n");
+}
+
+}  // namespace
+}  // namespace rss::metrics

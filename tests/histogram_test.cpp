@@ -1,0 +1,83 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rss::metrics {
+namespace {
+
+TEST(HistogramTest, RejectsBadBoundaries) {
+  EXPECT_THROW(Histogram{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, LinearFactoryBuildsEqualWidths) {
+  const auto h = Histogram::linear(0.0, 10.0, 5);
+  ASSERT_EQ(h.boundaries().size(), 6u);
+  EXPECT_DOUBLE_EQ(h.boundaries()[1] - h.boundaries()[0], 2.0);
+}
+
+TEST(HistogramTest, ExponentialFactoryGrowsGeometrically) {
+  const auto h = Histogram::exponential(1.0, 2.0, 4);
+  ASSERT_EQ(h.boundaries().size(), 5u);
+  EXPECT_DOUBLE_EQ(h.boundaries().back(), 16.0);
+  EXPECT_THROW(Histogram::exponential(0.0, 2.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential(1.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(HistogramTest, CountsLandInCorrectBuckets) {
+  auto h = Histogram::linear(0.0, 10.0, 2);  // [0,5), [5,10)
+  h.add(-1.0);                               // underflow
+  h.add(2.0);
+  h.add(7.0);
+  h.add(100.0);  // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(HistogramTest, TracksMinMaxMean) {
+  auto h = Histogram::linear(0.0, 100.0, 10);
+  h.add(10.0);
+  h.add(30.0, 2);  // weighted
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+  EXPECT_NEAR(h.mean(), (10.0 + 60.0) / 3.0, 1e-12);
+  EXPECT_EQ(h.total_count(), 3u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  auto h = Histogram::linear(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  // Uniform data: median near 50, p90 near 90.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min());
+}
+
+TEST(HistogramTest, QuantileOfEmptyIsZero) {
+  const auto h = Histogram::linear(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ZeroWeightIsIgnored) {
+  auto h = Histogram::linear(0.0, 1.0, 2);
+  h.add(0.5, 0);
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST(HistogramTest, QuantileClampedToExtremesInOutlierBuckets) {
+  auto h = Histogram::linear(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), -5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 50.0);
+}
+
+}  // namespace
+}  // namespace rss::metrics

@@ -1,0 +1,93 @@
+#include "control/oscillation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rss::control {
+namespace {
+
+std::vector<ResponseSample> synth(double duration, double dt, double freq_hz,
+                                  double growth_rate, double offset = 10.0) {
+  // A(t) * sin(2π f t) + offset with A(t) = e^{growth_rate * t}.
+  std::vector<ResponseSample> out;
+  for (double t = 0.0; t < duration; t += dt) {
+    const double amp = std::exp(growth_rate * t);
+    out.push_back({t, offset + amp * std::sin(2.0 * 3.14159265358979 * freq_hz * t)});
+  }
+  return out;
+}
+
+TEST(OscillationDetectorTest, ClassifiesSustained) {
+  const auto resp = synth(10.0, 0.01, 2.0, 0.0);
+  const auto a = OscillationDetector{}.analyze(resp);
+  EXPECT_EQ(a.kind, ResponseKind::kSustained);
+  EXPECT_NEAR(a.period, 0.5, 0.02);
+  EXPECT_NEAR(a.mean_amplitude, 1.0, 0.05);
+  EXPECT_NEAR(a.amplitude_trend, 1.0, 0.05);
+}
+
+TEST(OscillationDetectorTest, ClassifiesDamped) {
+  const auto resp = synth(10.0, 0.01, 2.0, -0.8);
+  const auto a = OscillationDetector{}.analyze(resp);
+  EXPECT_EQ(a.kind, ResponseKind::kDamped);
+  EXPECT_LT(a.amplitude_trend, 0.75);
+}
+
+TEST(OscillationDetectorTest, ClassifiesGrowing) {
+  const auto resp = synth(10.0, 0.01, 2.0, 0.8);
+  const auto a = OscillationDetector{}.analyze(resp);
+  EXPECT_EQ(a.kind, ResponseKind::kGrowing);
+  EXPECT_GT(a.amplitude_trend, 1.25);
+}
+
+TEST(OscillationDetectorTest, FlatSignalIsFlat) {
+  std::vector<ResponseSample> resp;
+  for (double t = 0.0; t < 10.0; t += 0.01) resp.push_back({t, 5.0});
+  const auto a = OscillationDetector{}.analyze(resp);
+  EXPECT_EQ(a.kind, ResponseKind::kFlat);
+  EXPECT_EQ(a.peak_count, 0u);
+}
+
+TEST(OscillationDetectorTest, MonotoneRampIsFlat) {
+  std::vector<ResponseSample> resp;
+  for (double t = 0.0; t < 10.0; t += 0.01) resp.push_back({t, t * 3.0});
+  const auto a = OscillationDetector{}.analyze(resp);
+  EXPECT_EQ(a.kind, ResponseKind::kFlat);
+}
+
+TEST(OscillationDetectorTest, TooFewSamplesIsFlat) {
+  std::vector<ResponseSample> resp{{0.0, 1.0}, {0.1, 2.0}, {0.2, 1.0}};
+  EXPECT_EQ(OscillationDetector{}.analyze(resp).kind, ResponseKind::kFlat);
+}
+
+TEST(OscillationDetectorTest, TransientIsSkipped) {
+  // Big decaying transient in the first 30%, clean sustained tail: the
+  // detector must classify from the tail.
+  auto resp = synth(10.0, 0.01, 2.0, 0.0);
+  for (auto& s : resp) {
+    if (s.t < 2.5) s.value += 50.0 * std::exp(-4.0 * s.t);
+  }
+  const auto a = OscillationDetector{}.analyze(resp);
+  EXPECT_EQ(a.kind, ResponseKind::kSustained);
+}
+
+TEST(OscillationDetectorTest, PeriodMeasuredAcrossFrequencies) {
+  for (const double f : {0.5, 1.0, 4.0, 8.0}) {
+    const auto resp = synth(20.0 / f, 0.2 / (f * 10.0), f, 0.0);
+    const auto a = OscillationDetector{}.analyze(resp);
+    EXPECT_NEAR(a.period, 1.0 / f, 0.1 / f) << "f=" << f;
+  }
+}
+
+TEST(OscillationDetectorTest, ToleranceOptionWidensSustainedBand) {
+  const auto resp = synth(10.0, 0.01, 2.0, 0.1);  // slowly growing
+  OscillationDetector strict{OscillationDetector::Options{.amplitude_tolerance = 0.01}};
+  OscillationDetector lax{OscillationDetector::Options{.amplitude_tolerance = 0.5}};
+  EXPECT_EQ(strict.analyze(resp).kind, ResponseKind::kGrowing);
+  EXPECT_EQ(lax.analyze(resp).kind, ResponseKind::kSustained);
+}
+
+}  // namespace
+}  // namespace rss::control

@@ -1,0 +1,114 @@
+#include "control/pid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "control/plant.hpp"
+
+namespace rss::control {
+namespace {
+
+TEST(PidTest, ProportionalOnlyIsKpTimesError) {
+  PidController pid{PidGains{2.0, 0.0, 0.0}};
+  EXPECT_DOUBLE_EQ(pid.update(3.0, 0.1), 6.0);
+  EXPECT_DOUBLE_EQ(pid.update(-1.5, 0.1), -3.0);
+}
+
+TEST(PidTest, RejectsNonPositiveDt) {
+  PidController pid{PidGains{1.0, 0.0, 0.0}};
+  EXPECT_THROW(pid.update(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(pid.update(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(PidTest, IntegralAccumulatesBackwardEuler) {
+  // Kp=1, Ti=1: after n steps of constant error e with step dt, the
+  // integral is e*n*dt.
+  PidController pid{PidGains{1.0, 1.0, 0.0}};
+  double out = 0.0;
+  for (int i = 0; i < 10; ++i) out = pid.update(2.0, 0.1);
+  EXPECT_NEAR(out, 2.0 + 2.0, 1e-9);
+}
+
+TEST(PidTest, IntegralDisabledWhenTiNonPositive) {
+  PidController pid{PidGains{1.0, 0.0, 0.0}};
+  for (int i = 0; i < 5; ++i) pid.update(1.0, 0.1);
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+}
+
+TEST(PidTest, DerivativeRespondsToErrorSlope) {
+  // Large filter N so the filtered derivative tracks the raw slope closely.
+  PidController pid{PidGains{1.0, 0.0, 1.0}, OutputLimits{}, 1000.0};
+  pid.update(0.0, 0.1);
+  // Error ramps at 10/s; D-term contribution ~ Td * 10 = 10.
+  const double out = pid.update(1.0, 0.1);
+  EXPECT_NEAR(out, 1.0 + 10.0, 0.15);
+}
+
+TEST(PidTest, NoDerivativeKickOnFirstSample) {
+  PidController pid{PidGains{1.0, 0.0, 5.0}};
+  const double out = pid.update(100.0, 0.01);
+  EXPECT_DOUBLE_EQ(out, 100.0);  // P only: derivative needs two samples
+}
+
+TEST(PidTest, OutputSaturatesAtLimits) {
+  PidController pid{PidGains{10.0, 0.0, 0.0}, OutputLimits{-1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(pid.update(100.0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(-100.0, 0.1), -1.0);
+}
+
+TEST(PidTest, AntiWindupFreezesIntegralDuringSaturation) {
+  PidController pid{PidGains{1.0, 10.0, 0.0}, OutputLimits{-1.0, 1.0}};
+  for (int i = 0; i < 100; ++i) pid.update(10.0, 0.1);
+  // Without anti-windup the integral would reach 10*10 = 100; conditional
+  // integration must have kept it tiny.
+  EXPECT_LT(pid.integral(), 1.0);
+  // Recovery: when the error flips, output leaves the rail immediately.
+  const double out = pid.update(-0.5, 0.1);
+  EXPECT_LT(out, 1.0);
+}
+
+TEST(PidTest, ResetClearsState) {
+  PidController pid{PidGains{1.0, 1.0, 1.0}};
+  pid.update(5.0, 0.1);
+  pid.update(7.0, 0.1);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+  EXPECT_DOUBLE_EQ(pid.last_output(), 0.0);
+  // After reset the derivative must not kick; the integral restarts from
+  // a single e*dt rectangle.
+  EXPECT_DOUBLE_EQ(pid.update(3.0, 0.1), 3.0 + 3.0 * 0.1 / 1.0);
+}
+
+TEST(PidTest, SetIntegralRecentresController) {
+  PidController pid{PidGains{1.0, 1.0, 0.0}};
+  for (int i = 0; i < 50; ++i) pid.update(1.0, 0.1);
+  EXPECT_GT(pid.integral(), 1.0);
+  pid.set_integral(0.0);
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+}
+
+TEST(PidTest, ClosedLoopDrivesFirstOrderPlantToSetpoint) {
+  // PI control of a first-order lag: zero steady-state error expected.
+  FirstOrderPlant plant{2.0, 0.5};
+  PidController pid{PidGains{1.0, 0.5, 0.0}};
+  const double setpoint = 3.0;
+  double y = 0.0;
+  for (int i = 0; i < 5000; ++i) y = plant.step(pid.update(setpoint - y, 0.01), 0.01);
+  EXPECT_NEAR(y, setpoint, 0.01);
+}
+
+TEST(PidTest, POnlyLeavesSteadyStateError) {
+  // Proportional-only on a finite-gain plant cannot remove offset:
+  // y_ss = K*Kp/(1 + K*Kp) * setpoint.
+  FirstOrderPlant plant{1.0, 0.2};
+  PidController pid{PidGains{1.0, 0.0, 0.0}};
+  const double setpoint = 1.0;
+  double y = 0.0;
+  for (int i = 0; i < 5000; ++i) y = plant.step(pid.update(setpoint - y, 0.01), 0.01);
+  EXPECT_NEAR(y, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace rss::control

@@ -1,0 +1,120 @@
+#include "control/plant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rss::control {
+namespace {
+
+TEST(FirstOrderPlantTest, StepResponseMatchesClosedForm) {
+  // y(t) = K(1 - e^{-t/tau}) for a unit step.
+  FirstOrderPlant plant{2.0, 0.5};
+  const double dt = 1e-3;
+  double y = 0.0;
+  for (int i = 0; i < 1000; ++i) y = plant.step(1.0, dt);  // t = 1.0 s
+  const double expected = 2.0 * (1.0 - std::exp(-1.0 / 0.5));
+  EXPECT_NEAR(y, expected, 1e-3);
+}
+
+TEST(FirstOrderPlantTest, ConvergesToGainTimesInput) {
+  FirstOrderPlant plant{3.0, 0.1};
+  double y = 0.0;
+  for (int i = 0; i < 10000; ++i) y = plant.step(2.0, 1e-3);
+  EXPECT_NEAR(y, 6.0, 1e-6);
+}
+
+TEST(FirstOrderPlantTest, DeadTimeDelaysResponse) {
+  FirstOrderPlant plant{1.0, 0.1, /*dead_time=*/0.5};
+  const double dt = 1e-2;
+  double y = 0.0;
+  // Up to t = 0.5 the output must stay at zero.
+  for (int i = 0; i < 49; ++i) {
+    y = plant.step(1.0, dt);
+    EXPECT_NEAR(y, 0.0, 1e-9) << "leaked before dead time at step " << i;
+  }
+  for (int i = 0; i < 200; ++i) y = plant.step(1.0, dt);
+  EXPECT_GT(y, 0.9);  // well underway after the delay
+}
+
+TEST(FirstOrderPlantTest, ValidatesParameters) {
+  EXPECT_THROW(FirstOrderPlant(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(FirstOrderPlant(1.0, 1.0, -0.1), std::invalid_argument);
+  FirstOrderPlant ok{1.0, 1.0};
+  EXPECT_THROW(ok.step(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(FirstOrderPlantTest, ResetClearsStateAndDelayLine) {
+  FirstOrderPlant plant{1.0, 0.1, 0.2};
+  for (int i = 0; i < 100; ++i) plant.step(1.0, 1e-2);
+  plant.reset();
+  EXPECT_DOUBLE_EQ(plant.output(), 0.0);
+  EXPECT_NEAR(plant.step(0.0, 1e-2), 0.0, 1e-12);  // no residual delayed input
+}
+
+TEST(IntegratorPlantTest, IntegratesInput) {
+  IntegratorPlant plant{2.0};
+  double y = 0.0;
+  for (int i = 0; i < 100; ++i) y = plant.step(0.5, 0.01);  // ∫ 2*0.5 dt over 1 s
+  EXPECT_NEAR(y, 1.0, 1e-9);
+}
+
+TEST(IntegratorPlantTest, SaturatesAtBounds) {
+  IntegratorPlant plant{1.0, 0.0, 0.0, 5.0};
+  double y = 0.0;
+  for (int i = 0; i < 1000; ++i) y = plant.step(1.0, 0.1);
+  EXPECT_DOUBLE_EQ(y, 5.0);
+  for (int i = 0; i < 2000; ++i) y = plant.step(-1.0, 0.1);
+  EXPECT_DOUBLE_EQ(y, 0.0);
+}
+
+TEST(IntegratorPlantTest, RejectsEmptySaturationRange) {
+  EXPECT_THROW(IntegratorPlant(1.0, 0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(SecondOrderPlantTest, UndampedOscillationPreservesAmplitude) {
+  // Symplectic integration: zero damping must not numerically explode.
+  SecondOrderPlant plant{1.0, 2.0 * 3.14159265, 0.0};  // 1 Hz
+  const double dt = 1e-4;
+  plant.step(1.0, dt);  // kick
+  double peak_early = 0.0, peak_late = 0.0;
+  for (int i = 0; i < 20000; ++i) {  // 2 s
+    const double y = plant.step(1.0, dt);
+    if (i < 10000) {
+      peak_early = std::max(peak_early, y);
+    } else {
+      peak_late = std::max(peak_late, y);
+    }
+  }
+  EXPECT_NEAR(peak_late, peak_early, 0.02 * peak_early);
+}
+
+TEST(SecondOrderPlantTest, DampedStepSettlesAtGain) {
+  SecondOrderPlant plant{2.0, 10.0, 0.7};
+  double y = 0.0;
+  for (int i = 0; i < 100000; ++i) y = plant.step(1.0, 1e-4);
+  EXPECT_NEAR(y, 2.0, 1e-3);
+}
+
+TEST(RunPControlExperimentTest, ProducesTimedSamples) {
+  FirstOrderPlant plant{1.0, 0.2};
+  const auto response = run_p_control_experiment(plant, 1.0, 1.0, 1.0, 0.01);
+  ASSERT_EQ(response.size(), 100u);
+  EXPECT_NEAR(response.front().t, 0.01, 1e-12);
+  EXPECT_NEAR(response.back().t, 1.0, 1e-9);
+  // Monotone approach to the P-only steady state 0.5.
+  EXPECT_GT(response.back().value, 0.45);
+  EXPECT_LT(response.back().value, 0.55);
+}
+
+TEST(RunPControlExperimentTest, ValidatesTiming) {
+  FirstOrderPlant plant{1.0, 0.2};
+  EXPECT_THROW((void)run_p_control_experiment(plant, 1.0, 1.0, 0.0, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_p_control_experiment(plant, 1.0, 1.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rss::control

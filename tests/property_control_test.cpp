@@ -1,0 +1,131 @@
+// Property suite for the control library:
+//
+//   C1 (saturation)  PID output always within [min, max] for arbitrary
+//                    gains, errors, and step sizes
+//   C2 (windup)      after an arbitrarily long saturation episode, the
+//                    controller recovers within a bounded number of steps
+//   C3 (linearity)   P-only controller is homogeneous: scaling the error
+//                    scales the (unsaturated) output
+//   C4 (tuner)       Z-N tuned closed loops on integrator-with-dead-time
+//                    plants are stable and remove steady-state error,
+//                    across a grid of plant parameters
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/pid.hpp"
+#include "control/plant.hpp"
+#include "control/ziegler_nichols.hpp"
+#include "sim/random.hpp"
+
+namespace rss::control {
+namespace {
+
+struct PidPlan {
+  std::uint64_t seed;
+  PidGains gains;
+  double umin, umax;
+};
+
+class PidPropertyTest : public ::testing::TestWithParam<PidPlan> {};
+
+TEST_P(PidPropertyTest, OutputAlwaysSaturated) {
+  const auto plan = GetParam();
+  PidController pid{plan.gains, OutputLimits{plan.umin, plan.umax}};
+  sim::Rng rng{plan.seed};
+  for (int i = 0; i < 10'000; ++i) {
+    const double error = rng.next_normal(0.0, 100.0);
+    const double dt = rng.next_exponential(0.01) + 1e-6;
+    const double u = pid.update(error, dt);
+    ASSERT_GE(u, plan.umin);
+    ASSERT_LE(u, plan.umax);
+    ASSERT_TRUE(std::isfinite(u));
+    ASSERT_TRUE(std::isfinite(pid.integral()));
+  }
+}
+
+TEST_P(PidPropertyTest, RecoversFromSaturationEpisode) {
+  const auto plan = GetParam();
+  PidController pid{plan.gains, OutputLimits{plan.umin, plan.umax}};
+  // Long hard-positive episode...
+  for (int i = 0; i < 5'000; ++i) pid.update(1e6, 0.01);
+  // ...then a clean negative error: output must leave the top rail within
+  // a handful of samples (no integral hangover).
+  int steps_at_top = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double u = pid.update(-1.0, 0.01);
+    if (u >= plan.umax - 1e-12) {
+      ++steps_at_top;
+    } else {
+      break;
+    }
+  }
+  EXPECT_LT(steps_at_top, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gains, PidPropertyTest,
+    ::testing::Values(PidPlan{1, {1.0, 0.0, 0.0}, -1.0, 1.0},
+                      PidPlan{2, {0.12, 0.3, 0.1}, -1.0, 1.0},
+                      PidPlan{3, {10.0, 0.05, 0.5}, -2.0, 0.5},
+                      PidPlan{4, {0.01, 5.0, 0.0}, 0.0, 1.0},
+                      PidPlan{5, {3.0, 0.2, 2.0}, -100.0, 100.0}),
+    [](const ::testing::TestParamInfo<PidPlan>& info) {
+      return "g" + std::to_string(info.param.seed);
+    });
+
+TEST(PidPropertyTest, ProportionalHomogeneity) {
+  for (const double k : {0.1, 1.0, 7.5}) {
+    PidController pid{PidGains{k, 0.0, 0.0}};
+    for (const double e : {-42.0, -1.0, 0.0, 0.5, 13.0}) {
+      EXPECT_DOUBLE_EQ(pid.update(e, 0.01), k * e);
+      EXPECT_DOUBLE_EQ(pid.update(2.0 * e, 0.01), 2.0 * k * e);
+    }
+  }
+}
+
+struct PlantPlan {
+  double gain;
+  double dead_time;
+};
+
+class TunedLoopTest : public ::testing::TestWithParam<PlantPlan> {};
+
+TEST_P(TunedLoopTest, PaperRuleGainsStabilizeAndRemoveOffset) {
+  const auto plan = GetParam();
+  const ZieglerNicholsTuner tuner;
+  const auto result = tuner.tune([&plan](double kp) {
+    IntegratorPlant plant{plan.gain, plan.dead_time};
+    return run_p_control_experiment(plant, kp, 1.0, 80.0 * plan.dead_time, plan.dead_time / 50.0);
+  });
+  ASSERT_TRUE(result.has_value());
+
+  // Deploy the paper rule on the same plant and require convergence to the
+  // setpoint with a damped tail.
+  const PidGains g = result->paper_rule();
+  PidController pid{g};
+  IntegratorPlant plant{plan.gain, plan.dead_time};
+  const double dt = plan.dead_time / 50.0;
+  const double setpoint = 1.0;
+  double y = 0.0;
+  double worst_late_error = 0.0;
+  const int steps = static_cast<int>(200.0 * plan.dead_time / dt);
+  for (int i = 0; i < steps; ++i) {
+    y = plant.step(pid.update(setpoint - y, dt), dt);
+    if (i > steps * 3 / 4) worst_late_error = std::max(worst_late_error, std::abs(setpoint - y));
+  }
+  EXPECT_LT(worst_late_error, 0.35) << "loop did not settle";
+}
+
+INSTANTIATE_TEST_SUITE_P(Plants, TunedLoopTest,
+                         ::testing::Values(PlantPlan{1.0, 0.1}, PlantPlan{1.0, 0.25},
+                                           PlantPlan{0.5, 0.5}, PlantPlan{2.0, 0.2}),
+                         [](const ::testing::TestParamInfo<PlantPlan>& info) {
+                           return "K" + std::to_string(static_cast<int>(info.param.gain * 10)) +
+                                  "_L" +
+                                  std::to_string(static_cast<int>(info.param.dead_time * 100));
+                         });
+
+}  // namespace
+}  // namespace rss::control

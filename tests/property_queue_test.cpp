@@ -1,0 +1,119 @@
+// Property suite for packet queues: conservation and bound invariants
+// under randomized operation sequences, for both disciplines.
+//
+//   Q1 (bound)        size_packets() <= capacity at every step
+//   Q2 (conservation) enqueued == dequeued + dropped_set... more precisely
+//                     stats.enqueued == dequeues_succeeded + still_queued
+//   Q3 (byte ledger)  size_bytes equals the sum of queued packet sizes
+//   Q4 (FIFO)         packets leave in admission order
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "net/queue.hpp"
+#include "sim/random.hpp"
+
+namespace rss::net {
+namespace {
+
+struct QueuePlan {
+  std::uint64_t seed;
+  std::size_t capacity;
+  std::size_t operations;
+  double enqueue_bias;  ///< probability an op is an enqueue
+  bool red;
+};
+
+class QueuePropertyTest : public ::testing::TestWithParam<QueuePlan> {};
+
+TEST_P(QueuePropertyTest, InvariantsHoldOverRandomOps) {
+  const auto plan = GetParam();
+  sim::Rng rng{plan.seed};
+
+  std::unique_ptr<PacketQueue> q;
+  if (plan.red) {
+    RedQueue::Options opt;
+    opt.capacity_packets = plan.capacity;
+    opt.min_threshold = static_cast<double>(plan.capacity) * 0.3;
+    opt.max_threshold = static_cast<double>(plan.capacity) * 0.8;
+    q = std::make_unique<RedQueue>(opt, rng.fork());
+  } else {
+    q = std::make_unique<DropTailQueue>(plan.capacity);
+  }
+
+  std::deque<std::uint64_t> model;  // uids we believe are queued, in order
+  std::uint64_t model_bytes = 0;
+  std::uint64_t next_uid = 1;
+  std::uint64_t dequeued_count = 0;
+
+  for (std::size_t op = 0; op < plan.operations; ++op) {
+    if (rng.next_bool(plan.enqueue_bias)) {
+      Packet p;
+      p.uid = next_uid++;
+      p.payload_bytes = static_cast<std::uint32_t>(rng.next_in(0, 1460));
+      if (q->enqueue(p)) {
+        model.push_back(p.uid);
+        model_bytes += p.size_bytes();
+      }
+    } else {
+      const auto got = q->dequeue();
+      if (model.empty()) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        // Q4: FIFO order.
+        EXPECT_EQ(got->uid, model.front());
+        model.pop_front();
+        model_bytes -= got->size_bytes();
+        ++dequeued_count;
+      }
+    }
+    // Q1: bound.
+    ASSERT_LE(q->size_packets(), plan.capacity);
+    // Q3: byte ledger.
+    ASSERT_EQ(q->size_bytes(), model_bytes);
+    ASSERT_EQ(q->size_packets(), model.size());
+  }
+
+  // Q2: conservation at the end.
+  EXPECT_EQ(q->stats().enqueued, dequeued_count + model.size());
+  EXPECT_EQ(q->stats().dequeued, dequeued_count);
+  // Every offered packet was either admitted or dropped.
+  EXPECT_EQ(q->stats().enqueued + q->stats().dropped, next_uid - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, QueuePropertyTest,
+    ::testing::Values(QueuePlan{11, 4, 5'000, 0.5, false},
+                      QueuePlan{12, 100, 20'000, 0.7, false},
+                      QueuePlan{13, 1, 2'000, 0.9, false},   // capacity-1 stress
+                      QueuePlan{14, 100, 20'000, 0.7, true}, // RED
+                      QueuePlan{15, 16, 10'000, 0.95, true}),
+    [](const ::testing::TestParamInfo<QueuePlan>& info) {
+      return std::string(info.param.red ? "red" : "droptail") + "_cap" +
+             std::to_string(info.param.capacity) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// Peak occupancy is monotone and correct.
+TEST(QueueStatsProperty, PeakIsRunningMaximum) {
+  DropTailQueue q{50};
+  sim::Rng rng{3};
+  std::size_t live_peak = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.next_bool(0.6)) {
+      Packet p;
+      p.uid = static_cast<std::uint64_t>(i);
+      (void)q.enqueue(p);
+    } else {
+      (void)q.dequeue();
+    }
+    live_peak = std::max(live_peak, q.size_packets());
+    ASSERT_EQ(q.stats().peak_packets, live_peak);
+  }
+}
+
+}  // namespace
+}  // namespace rss::net

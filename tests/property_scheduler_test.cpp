@@ -1,0 +1,183 @@
+// Property suite for the event core: randomized schedules must execute in
+// exact (time, insertion) order under both the binary-heap Scheduler and
+// the CalendarQueue, and the two structures must agree item for item.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rss::sim {
+namespace {
+
+struct SchedulePlan {
+  std::uint64_t seed;
+  std::size_t events;
+  std::int64_t horizon_ns;
+};
+
+class RandomScheduleTest : public ::testing::TestWithParam<SchedulePlan> {};
+
+TEST_P(RandomScheduleTest, SchedulerExecutesInTimeThenInsertionOrder) {
+  const auto plan = GetParam();
+  Rng rng{plan.seed};
+  Scheduler s;
+
+  struct Expected {
+    Time at;
+    std::size_t insertion;
+  };
+  std::vector<Expected> expected;
+  std::vector<std::size_t> observed;
+  expected.reserve(plan.events);
+
+  for (std::size_t i = 0; i < plan.events; ++i) {
+    const Time at = Time::nanoseconds(static_cast<std::int64_t>(
+        rng.next_in(0, static_cast<std::uint64_t>(plan.horizon_ns))));
+    expected.push_back({at, i});
+    s.schedule_at(at, [&observed, i] { observed.push_back(i); });
+  }
+  s.run();
+
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expected& a, const Expected& b) { return a.at < b.at; });
+  ASSERT_EQ(observed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(observed[i], expected[i].insertion) << "position " << i;
+  }
+}
+
+TEST_P(RandomScheduleTest, RandomCancellationsNeverFireAndOthersAlwaysDo) {
+  const auto plan = GetParam();
+  Rng rng{plan.seed ^ 0xABCDEF};
+  Scheduler s;
+  std::vector<EventId> ids(plan.events);
+  std::vector<bool> fired(plan.events, false);
+  for (std::size_t i = 0; i < plan.events; ++i) {
+    const Time at = Time::nanoseconds(static_cast<std::int64_t>(
+        rng.next_in(1, static_cast<std::uint64_t>(plan.horizon_ns))));
+    ids[i] = s.schedule_at(at, [&fired, i] { fired[i] = true; });
+  }
+  std::vector<bool> cancelled(plan.events, false);
+  for (std::size_t i = 0; i < plan.events; ++i) {
+    if (rng.next_bool(0.4)) {
+      cancelled[i] = true;
+      EXPECT_TRUE(s.cancel(ids[i]));
+    }
+  }
+  s.run();
+  for (std::size_t i = 0; i < plan.events; ++i) {
+    EXPECT_EQ(fired[i], !cancelled[i]) << "event " << i;
+  }
+}
+
+TEST_P(RandomScheduleTest, CalendarQueueAgreesWithHeapOrder) {
+  const auto plan = GetParam();
+  Rng rng{plan.seed ^ 0x5555};
+  CalendarQueue cal;
+
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < plan.events; ++i) {
+    const Time at = Time::nanoseconds(static_cast<std::int64_t>(
+        rng.next_in(0, static_cast<std::uint64_t>(plan.horizon_ns))));
+    entries.push_back({at, i});
+    cal.push(at, i, [] {});
+  }
+  std::stable_sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    ASSERT_FALSE(cal.empty());
+    const auto item = cal.pop_min();
+    EXPECT_EQ(item.at, entries[i].at) << "position " << i;
+    EXPECT_EQ(item.seq, entries[i].seq) << "position " << i;
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST_P(RandomScheduleTest, CalendarQueueInterleavedPushPop) {
+  // Pops interleaved with pushes (monotone non-decreasing push times after
+  // pops, as a simulator produces) must still come out sorted.
+  const auto plan = GetParam();
+  Rng rng{plan.seed ^ 0x9999};
+  CalendarQueue cal;
+  Time now = Time::zero();
+  std::uint64_t seq = 0;
+  Time last_popped = Time::zero();
+  std::size_t pops = 0;
+
+  for (std::size_t round = 0; round < plan.events; ++round) {
+    const auto burst = rng.next_in(1, 4);
+    for (std::uint64_t b = 0; b < burst; ++b) {
+      const Time at = now + Time::nanoseconds(static_cast<std::int64_t>(
+                                rng.next_in(0, 1'000'000)));
+      cal.push(at, seq++, [] {});
+    }
+    if (!cal.empty() && rng.next_bool(0.7)) {
+      const auto item = cal.pop_min();
+      EXPECT_GE(item.at, last_popped);
+      last_popped = item.at;
+      now = item.at;
+      ++pops;
+    }
+  }
+  while (!cal.empty()) {
+    const auto item = cal.pop_min();
+    EXPECT_GE(item.at, last_popped);
+    last_popped = item.at;
+    ++pops;
+  }
+  EXPECT_EQ(pops, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, RandomScheduleTest,
+    ::testing::Values(SchedulePlan{1, 100, 1'000},          // dense ties
+                      SchedulePlan{2, 1'000, 1'000'000},    // typical
+                      SchedulePlan{3, 5'000, 100},          // extreme tie pressure
+                      SchedulePlan{4, 2'000, 1'000'000'000},// sparse
+                      SchedulePlan{5, 500, 50'000}),
+    [](const ::testing::TestParamInfo<SchedulePlan>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.events);
+    });
+
+TEST(CalendarQueueTest, ResizesUnderLoad) {
+  CalendarQueue cal{16, Time::microseconds(1)};
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    cal.push(Time::nanoseconds(static_cast<std::int64_t>(i * 137 % 100000)), i, [] {});
+  EXPECT_GT(cal.resizes(), 0u);
+  EXPECT_GT(cal.day_count(), 16u);
+  Time last = Time::zero();
+  while (!cal.empty()) {
+    const auto item = cal.pop_min();
+    EXPECT_GE(item.at, last);
+    last = item.at;
+  }
+}
+
+TEST(CalendarQueueTest, RejectsPastPushAndEmptyPop) {
+  CalendarQueue cal;
+  cal.push(Time::milliseconds(5), 1, [] {});
+  (void)cal.pop_min();
+  EXPECT_THROW(cal.push(Time::milliseconds(1), 2, [] {}), std::invalid_argument);
+  EXPECT_THROW((void)cal.pop_min(), std::logic_error);
+}
+
+TEST(CalendarQueueTest, ValidatesConstruction) {
+  EXPECT_THROW(CalendarQueue(0, Time::microseconds(1)), std::invalid_argument);
+  EXPECT_THROW(CalendarQueue(16, Time::zero()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rss::sim

@@ -1,0 +1,134 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rss::net {
+namespace {
+
+Packet make_packet(std::uint32_t payload = 1460, std::uint64_t uid = 1) {
+  Packet p;
+  p.uid = uid;
+  p.payload_bytes = payload;
+  return p;
+}
+
+TEST(DropTailQueueTest, FifoOrder) {
+  DropTailQueue q{10};
+  for (std::uint64_t i = 1; i <= 3; ++i) ASSERT_TRUE(q.enqueue(make_packet(100, i)));
+  EXPECT_EQ(q.dequeue()->uid, 1u);
+  EXPECT_EQ(q.dequeue()->uid, 2u);
+  EXPECT_EQ(q.dequeue()->uid, 3u);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueueTest, DropsWhenFull) {
+  DropTailQueue q{2};
+  EXPECT_TRUE(q.enqueue(make_packet()));
+  EXPECT_TRUE(q.enqueue(make_packet()));
+  EXPECT_FALSE(q.enqueue(make_packet()));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().enqueued, 2u);
+  EXPECT_EQ(q.size_packets(), 2u);
+}
+
+TEST(DropTailQueueTest, TracksBytesAndPeak) {
+  DropTailQueue q{10};
+  ASSERT_TRUE(q.enqueue(make_packet(1000)));
+  ASSERT_TRUE(q.enqueue(make_packet(500)));
+  EXPECT_EQ(q.size_bytes(), 1000u + 40 + 500 + 40);
+  EXPECT_EQ(q.stats().peak_packets, 2u);
+  (void)q.dequeue();
+  EXPECT_EQ(q.size_bytes(), 540u);
+  EXPECT_EQ(q.stats().peak_packets, 2u);  // peak sticks
+}
+
+TEST(DropTailQueueTest, FillFraction) {
+  DropTailQueue q{4};
+  EXPECT_DOUBLE_EQ(q.fill_fraction(), 0.0);
+  ASSERT_TRUE(q.enqueue(make_packet()));
+  ASSERT_TRUE(q.enqueue(make_packet()));
+  EXPECT_DOUBLE_EQ(q.fill_fraction(), 0.5);
+}
+
+TEST(DropTailQueueTest, RejectsZeroCapacity) {
+  EXPECT_THROW(DropTailQueue{0}, std::invalid_argument);
+}
+
+TEST(DropTailQueueTest, DropStatsCountBytes) {
+  DropTailQueue q{1};
+  ASSERT_TRUE(q.enqueue(make_packet(1000)));
+  ASSERT_FALSE(q.enqueue(make_packet(2000)));
+  EXPECT_EQ(q.stats().bytes_dropped, 2040u);
+}
+
+TEST(RedQueueTest, ValidatesOptions) {
+  sim::Rng rng{1};
+  RedQueue::Options bad;
+  bad.min_threshold = 50.0;
+  bad.max_threshold = 40.0;
+  EXPECT_THROW(RedQueue(bad, rng), std::invalid_argument);
+  RedQueue::Options bad_weight;
+  bad_weight.queue_weight = 0.0;
+  EXPECT_THROW(RedQueue(bad_weight, rng), std::invalid_argument);
+  RedQueue::Options zero_cap;
+  zero_cap.capacity_packets = 0;
+  EXPECT_THROW(RedQueue(zero_cap, rng), std::invalid_argument);
+}
+
+TEST(RedQueueTest, NoEarlyDropsBelowMinThreshold) {
+  RedQueue::Options opt;
+  opt.capacity_packets = 100;
+  opt.min_threshold = 20.0;
+  opt.max_threshold = 60.0;
+  RedQueue q{opt, sim::Rng{7}};
+  // Keep instantaneous occupancy low: enqueue/dequeue pairs.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.enqueue(make_packet()));
+    (void)q.dequeue();
+  }
+  EXPECT_EQ(q.early_drops(), 0u);
+}
+
+TEST(RedQueueTest, EarlyDropsBetweenThresholds) {
+  RedQueue::Options opt;
+  opt.capacity_packets = 200;
+  opt.min_threshold = 5.0;
+  opt.max_threshold = 50.0;
+  opt.max_drop_probability = 0.5;
+  opt.queue_weight = 0.2;  // fast EWMA so the average enters the RED band
+  RedQueue q{opt, sim::Rng{7}};
+  int admitted = 0;
+  for (int i = 0; i < 60; ++i) admitted += q.enqueue(make_packet());
+  // Occupancy passed through the RED band: some probabilistic drops must
+  // have occurred, but not everything was dropped.
+  EXPECT_GT(q.early_drops(), 0u);
+  EXPECT_GT(admitted, 30);
+}
+
+TEST(RedQueueTest, ForcedDropAtHardCapacity) {
+  RedQueue::Options opt;
+  opt.capacity_packets = 10;
+  opt.min_threshold = 100.0;  // RED band never reached (avg can't exceed cap)
+  opt.max_threshold = 200.0;
+  RedQueue q{opt, sim::Rng{7}};
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.enqueue(make_packet()));
+  EXPECT_FALSE(q.enqueue(make_packet()));
+  EXPECT_EQ(q.forced_drops(), 1u);
+}
+
+TEST(RedQueueTest, AverageTracksOccupancyEwma) {
+  RedQueue::Options opt;
+  opt.capacity_packets = 100;
+  opt.min_threshold = 90.0;
+  opt.max_threshold = 99.0;
+  opt.queue_weight = 0.5;  // fast EWMA for the test
+  RedQueue q{opt, sim::Rng{7}};
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(q.enqueue(make_packet()));
+  EXPECT_GT(q.average_occupancy(), 5.0);
+  EXPECT_LT(q.average_occupancy(), 20.0);
+}
+
+}  // namespace
+}  // namespace rss::net

@@ -1,0 +1,115 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rss::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleMeanNearHalf) {
+  Rng r{11};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextInRespectsBounds) {
+  Rng r{3};
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, NextInCoversRange) {
+  Rng r{5};
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[r.next_in(0, 4)];
+  for (int count : seen) EXPECT_GT(count, 100);  // roughly uniform over 5 bins
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng r{13};
+  const double mean = 0.25;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_exponential(mean);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, mean, 0.005);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng r{17};
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_normal(3.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r{19};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1{99}, parent2{99};
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  // Child differs from a fresh parent stream.
+  Rng parent3{99};
+  int equal = 0;
+  Rng child3 = parent3.fork();
+  Rng parent4{99};
+  (void)parent4.fork();
+  for (int i = 0; i < 50; ++i) equal += (child3.next_u64() == parent4.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Rng r{123};
+  const auto a = r.next_u64();
+  r.reseed(123);
+  EXPECT_EQ(r.next_u64(), a);
+}
+
+}  // namespace
+}  // namespace rss::sim

@@ -1,0 +1,206 @@
+#include "tcp/reno.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tcp/limited_slow_start.hpp"
+
+namespace rss::tcp {
+namespace {
+
+using namespace rss::sim::literals;
+
+/// Minimal CcHost for exercising congestion-control algorithms in
+/// isolation from the sender machinery.
+class MockHost final : public CcHost {
+ public:
+  double cwnd{0};
+  double ssthresh{0};
+  std::uint32_t mss_v{1460};
+  std::uint64_t flight{0};
+  sim::Time now_v{sim::Time::zero()};
+  std::size_t ifq_occ{0};
+  std::size_t ifq_cap{100};
+  sim::Time srtt_v{60_ms};
+
+  [[nodiscard]] double cwnd_bytes() const override { return cwnd; }
+  void set_cwnd_bytes(double c) override { cwnd = c; }
+  [[nodiscard]] double ssthresh_bytes() const override { return ssthresh; }
+  void set_ssthresh_bytes(double s) override { ssthresh = s; }
+  [[nodiscard]] std::uint32_t mss() const override { return mss_v; }
+  [[nodiscard]] std::uint64_t flight_size_bytes() const override { return flight; }
+  [[nodiscard]] sim::Time now() const override { return now_v; }
+  [[nodiscard]] std::size_t ifq_occupancy_packets() const override { return ifq_occ; }
+  [[nodiscard]] std::size_t ifq_capacity_packets() const override { return ifq_cap; }
+  [[nodiscard]] sim::Time srtt() const override { return srtt_v; }
+};
+
+TEST(RenoTest, AttachSetsInitialWindow) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  EXPECT_DOUBLE_EQ(host.cwnd, 2.0 * 1460);
+  EXPECT_GT(host.ssthresh, 1e8);
+  EXPECT_TRUE(reno.in_slow_start());
+  EXPECT_EQ(reno.name(), "reno");
+}
+
+TEST(RenoTest, SlowStartAddsMssPerAck) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  const double before = host.cwnd;
+  reno.on_ack(1460);
+  EXPECT_DOUBLE_EQ(host.cwnd, before + 1460);
+}
+
+TEST(RenoTest, SlowStartIncrementCappedAtMssForStretchAcks) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  const double before = host.cwnd;
+  reno.on_ack(4 * 1460);  // stretch ACK covers 4 segments
+  EXPECT_DOUBLE_EQ(host.cwnd, before + 1460);
+}
+
+TEST(RenoTest, SlowStartDoublesPerRoundTrip) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  // One "round": cwnd/mss ACKs each acking one segment.
+  const double start = host.cwnd;
+  const int acks = static_cast<int>(start / 1460);
+  for (int i = 0; i < acks; ++i) reno.on_ack(1460);
+  EXPECT_DOUBLE_EQ(host.cwnd, 2.0 * start);
+}
+
+TEST(RenoTest, CongestionAvoidanceGrowsOneMssPerRtt) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  host.cwnd = 100.0 * 1460;
+  host.ssthresh = 50.0 * 1460;  // below cwnd: CA
+  ASSERT_FALSE(reno.in_slow_start());
+  const double before = host.cwnd;
+  for (int i = 0; i < 100; ++i) reno.on_ack(1460);  // one full window of ACKs
+  EXPECT_NEAR(host.cwnd, before + 1460, 25.0);      // ~1 MSS per RTT
+}
+
+TEST(RenoTest, FastRetransmitHalvesToFlight) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  host.flight = 100 * 1460;
+  reno.on_fast_retransmit();
+  EXPECT_DOUBLE_EQ(host.ssthresh, 50.0 * 1460);
+}
+
+TEST(RenoTest, SsthreshFloorTwoMss) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  host.flight = 1460;
+  reno.on_fast_retransmit();
+  EXPECT_DOUBLE_EQ(host.ssthresh, 2.0 * 1460);
+}
+
+TEST(RenoTest, TimeoutCollapsesToOneMss) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  host.cwnd = 100 * 1460;
+  host.flight = 80 * 1460;
+  reno.on_retransmit_timeout();
+  EXPECT_DOUBLE_EQ(host.cwnd, 1460.0);
+  EXPECT_DOUBLE_EQ(host.ssthresh, 40.0 * 1460);
+}
+
+TEST(RenoTest, LocalCongestionHalvesAndExitsSlowStart) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  host.cwnd = 200 * 1460;
+  host.now_v = 1_s;
+  EXPECT_TRUE(reno.on_local_congestion());
+  EXPECT_DOUBLE_EQ(host.cwnd, 100.0 * 1460);
+  EXPECT_DOUBLE_EQ(host.ssthresh, 100.0 * 1460);
+  EXPECT_FALSE(reno.in_slow_start());  // cwnd == ssthresh
+}
+
+TEST(RenoTest, LocalCongestionRateLimitedToOncePerSrtt) {
+  MockHost host;
+  RenoCongestionControl reno;
+  reno.attach(host);
+  host.cwnd = 400 * 1460;
+  host.now_v = 1_s;
+  EXPECT_TRUE(reno.on_local_congestion());
+  const double after_first = host.cwnd;
+  host.now_v = 1_s + 10_ms;  // within one SRTT (60 ms)
+  EXPECT_FALSE(reno.on_local_congestion());
+  EXPECT_DOUBLE_EQ(host.cwnd, after_first);
+  host.now_v = 1_s + 100_ms;  // past one SRTT
+  EXPECT_TRUE(reno.on_local_congestion());
+  EXPECT_DOUBLE_EQ(host.cwnd, after_first / 2.0);
+}
+
+TEST(RenoTest, LocalCongestionRateLimitCanBeDisabled) {
+  MockHost host;
+  RenoCongestionControl::Options opt;
+  opt.rate_limit_local_congestion = false;
+  RenoCongestionControl reno{opt};
+  reno.attach(host);
+  host.cwnd = 400 * 1460;
+  EXPECT_TRUE(reno.on_local_congestion());
+  EXPECT_TRUE(reno.on_local_congestion());
+  EXPECT_DOUBLE_EQ(host.cwnd, 100.0 * 1460);
+}
+
+TEST(LimitedSlowStartTest, ExponentialBelowMaxSsthresh) {
+  MockHost host;
+  LimitedSlowStart::LssOptions opt;
+  opt.max_ssthresh_segments = 100;
+  LimitedSlowStart lss{opt};
+  lss.attach(host);
+  const double before = host.cwnd;
+  lss.on_ack(1460);
+  EXPECT_DOUBLE_EQ(host.cwnd, before + 1460);
+  EXPECT_EQ(lss.name(), "limited-slow-start");
+}
+
+TEST(LimitedSlowStartTest, ThrottledAboveMaxSsthresh) {
+  MockHost host;
+  LimitedSlowStart::LssOptions opt;
+  opt.max_ssthresh_segments = 100;
+  LimitedSlowStart lss{opt};
+  lss.attach(host);
+  host.cwnd = 200.0 * 1460;  // 2x max_ssthresh: K = ceil(200/50) = 4
+  const double before = host.cwnd;
+  lss.on_ack(1460);
+  EXPECT_DOUBLE_EQ(host.cwnd, before + 1460.0 / 4.0);
+}
+
+TEST(LimitedSlowStartTest, GrowthPerRttCappedAtHalfMaxSsthresh) {
+  MockHost host;
+  LimitedSlowStart::LssOptions opt;
+  opt.max_ssthresh_segments = 100;
+  LimitedSlowStart lss{opt};
+  lss.attach(host);
+  host.cwnd = 200.0 * 1460;
+  // One round = 200 ACKs; growth must be <= 50 segments (max_ssthresh/2).
+  for (int i = 0; i < 200; ++i) lss.on_ack(1460);
+  EXPECT_LE(host.cwnd, (200.0 + 51.0) * 1460);
+  EXPECT_GT(host.cwnd, (200.0 + 30.0) * 1460);
+}
+
+TEST(LimitedSlowStartTest, CongestionAvoidanceUnchanged) {
+  MockHost host;
+  LimitedSlowStart lss;
+  lss.attach(host);
+  host.cwnd = 100.0 * 1460;
+  host.ssthresh = 50.0 * 1460;
+  const double before = host.cwnd;
+  lss.on_ack(1460);
+  EXPECT_NEAR(host.cwnd, before + 1460.0 / 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace rss::tcp

@@ -1,0 +1,96 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rss::tcp {
+namespace {
+
+using sim::Time;
+using namespace rss::sim::literals;
+
+TEST(RttEstimatorTest, InitialRtoBeforeAnySample) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_sample());
+  EXPECT_EQ(rtt.rto(), 1_s);  // RFC 6298 default
+}
+
+TEST(RttEstimatorTest, FirstSampleSetsSrttAndVar) {
+  RttEstimator rtt;
+  rtt.add_sample(60_ms);
+  EXPECT_TRUE(rtt.has_sample());
+  EXPECT_EQ(rtt.srtt(), 60_ms);
+  EXPECT_EQ(rtt.rttvar(), 30_ms);
+  // RTO = 60 + 4*30 = 180ms -> floored to the 200ms minimum.
+  EXPECT_EQ(rtt.rto(), 200_ms);
+}
+
+TEST(RttEstimatorTest, SmoothsTowardConstantRtt) {
+  RttEstimator rtt;
+  for (int i = 0; i < 100; ++i) rtt.add_sample(60_ms);
+  EXPECT_EQ(rtt.srtt(), 60_ms);
+  // Constant samples drive RTTVAR toward zero; RTO hits the floor.
+  EXPECT_LT(rtt.rttvar(), 1_ms);
+  EXPECT_EQ(rtt.rto(), 200_ms);
+}
+
+TEST(RttEstimatorTest, VarianceRaisesRto) {
+  RttEstimator rtt;
+  for (int i = 0; i < 50; ++i) rtt.add_sample(i % 2 ? 40_ms : 160_ms);
+  EXPECT_GT(rtt.rto(), 200_ms);  // jitter must push RTO above the floor
+}
+
+TEST(RttEstimatorTest, RfcUpdateFormulaExact) {
+  RttEstimator rtt;
+  rtt.add_sample(100_ms);
+  rtt.add_sample(200_ms);
+  // RTTVAR = 0.75*50 + 0.25*|100-200| = 62.5ms; SRTT = 0.875*100+0.125*200 = 112.5ms
+  EXPECT_EQ(rtt.rttvar(), Time::from_seconds(0.0625));
+  EXPECT_EQ(rtt.srtt(), Time::from_seconds(0.1125));
+  EXPECT_EQ(rtt.rto(), Time::from_seconds(0.1125 + 4 * 0.0625));
+}
+
+TEST(RttEstimatorTest, BackoffDoublesAndResets) {
+  RttEstimator rtt;
+  rtt.add_sample(100_ms);
+  const Time base = rtt.rto();
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), base * 2);
+  rtt.backoff();
+  EXPECT_EQ(rtt.rto(), base * 4);
+  rtt.reset_backoff();
+  EXPECT_EQ(rtt.rto(), base);
+}
+
+TEST(RttEstimatorTest, RtoCappedAtMax) {
+  RttEstimator rtt;
+  rtt.add_sample(10_s);
+  for (int i = 0; i < 20; ++i) rtt.backoff();
+  EXPECT_EQ(rtt.rto(), 60_s);
+}
+
+TEST(RttEstimatorTest, TracksMinRtt) {
+  RttEstimator rtt;
+  rtt.add_sample(80_ms);
+  rtt.add_sample(60_ms);
+  rtt.add_sample(100_ms);
+  EXPECT_EQ(rtt.min_rtt(), 60_ms);
+}
+
+TEST(RttEstimatorTest, NegativeSampleIgnored) {
+  RttEstimator rtt;
+  rtt.add_sample(Time::zero() - 5_ms);
+  EXPECT_FALSE(rtt.has_sample());
+}
+
+TEST(RttEstimatorTest, CustomOptions) {
+  RttEstimator::Options opt;
+  opt.min_rto = 10_ms;
+  opt.initial_rto = 3_s;
+  RttEstimator rtt{opt};
+  EXPECT_EQ(rtt.rto(), 3_s);
+  for (int i = 0; i < 100; ++i) rtt.add_sample(5_ms);
+  EXPECT_EQ(rtt.rto(), 10_ms);
+}
+
+}  // namespace
+}  // namespace rss::tcp

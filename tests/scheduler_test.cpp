@@ -1,0 +1,168 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace rss::sim {
+namespace {
+
+using namespace rss::sim::literals;
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(3_ms, [&] { order.push_back(3); });
+  s.schedule_at(1_ms, [&] { order.push_back(1); });
+  s.schedule_at(2_ms, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3_ms);
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(SchedulerTest, SameTimestampFiresInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) s.schedule_at(5_ms, [&order, i] { order.push_back(i); });
+  s.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, RejectsPastAndNullEvents) {
+  Scheduler s;
+  s.schedule_at(10_ms, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5_ms, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.schedule_at(20_ms, Scheduler::Callback{}), std::invalid_argument);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(1_ms, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(SchedulerTest, CancelIsIdempotentAndSafeOnFiredEvents) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1_ms, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));         // already fired
+  EXPECT_FALSE(s.cancel(id));         // idempotent
+  EXPECT_FALSE(s.cancel(EventId{}));  // default id is inert
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SchedulerTest, PendingTracksLiveEventsOnly) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1_ms, [] {});
+  s.schedule_at(2_ms, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockToHorizon) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1_ms, [&] { ++fired; });
+  s.schedule_at(10_ms, [&] { ++fired; });
+  s.run_until(5_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 5_ms);  // clock advances even with no event at 5ms
+  s.run_until(10_ms);        // boundary event does fire
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, EventsScheduledDuringExecutionRun) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_in(1_ms, recurse);
+  };
+  s.schedule_at(0_ms, recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), 4_ms);
+}
+
+TEST(SchedulerTest, StopHaltsRun) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1_ms, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2_ms, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, NextEventTimeSkipsCancelled) {
+  Scheduler s;
+  const EventId a = s.schedule_at(1_ms, [] {});
+  s.schedule_at(2_ms, [] {});
+  s.cancel(a);
+  EXPECT_EQ(s.next_event_time(), 2_ms);
+  s.run();
+  EXPECT_EQ(s.next_event_time(), Time::infinity());
+}
+
+TEST(SchedulerTest, CancelFromInsideCallback) {
+  Scheduler s;
+  bool late_fired = false;
+  EventId late;
+  late = s.schedule_at(2_ms, [&] { late_fired = true; });
+  s.schedule_at(1_ms, [&] { EXPECT_TRUE(s.cancel(late)); });
+  s.run();
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(SchedulerTest, StepSingleSteps) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(1_ms, [&] { ++fired; });
+  s.schedule_at(2_ms, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, EveryRepeatsUntilFalse) {
+  Simulation sim;
+  std::vector<Time> ticks;
+  sim.every(10_ms, [&](Time now) {
+    ticks.push_back(now);
+    return ticks.size() < 3;
+  });
+  sim.run();
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_EQ(ticks[0], 10_ms);
+  EXPECT_EQ(ticks[1], 20_ms);
+  EXPECT_EQ(ticks[2], 30_ms);
+}
+
+TEST(SimulationTest, RunForIsRelative) {
+  Simulation sim;
+  sim.run_until(5_ms);
+  sim.run_for(10_ms);
+  EXPECT_EQ(sim.now(), 15_ms);
+}
+
+}  // namespace
+}  // namespace rss::sim

@@ -1,0 +1,64 @@
+#include "tcp/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rss::tcp {
+namespace {
+
+TEST(SeqNumTest, BasicOrdering) {
+  EXPECT_LT(SeqNum{100}, SeqNum{200});
+  EXPECT_GT(SeqNum{200}, SeqNum{100});
+  EXPECT_LE(SeqNum{100}, SeqNum{100});
+  EXPECT_EQ(SeqNum{7}, SeqNum{7});
+  EXPECT_NE(SeqNum{7}, SeqNum{8});
+}
+
+TEST(SeqNumTest, OrderingAcrossWrap) {
+  const SeqNum near_max{0xFFFFFF00u};
+  const SeqNum wrapped{0x00000100u};
+  EXPECT_LT(near_max, wrapped);  // wrapped is logically ahead
+  EXPECT_GT(wrapped, near_max);
+}
+
+TEST(SeqNumTest, AdditionWraps) {
+  const SeqNum s{0xFFFFFFF0u};
+  const SeqNum t = s + 0x20u;
+  EXPECT_EQ(t.raw(), 0x10u);
+  EXPECT_GT(t, s);
+}
+
+TEST(SeqNumTest, SubtractionWraps) {
+  const SeqNum s{0x10u};
+  EXPECT_EQ((s - 0x20u).raw(), 0xFFFFFFF0u);
+}
+
+TEST(SeqNumTest, DistanceSigned) {
+  EXPECT_EQ(distance(SeqNum{100}, SeqNum{150}), 50);
+  EXPECT_EQ(distance(SeqNum{150}, SeqNum{100}), -50);
+  EXPECT_EQ(distance(SeqNum{0xFFFFFF00u}, SeqNum{0x100u}), 0x200);
+  EXPECT_EQ(distance(SeqNum{0x100u}, SeqNum{0xFFFFFF00u}), -0x200);
+}
+
+TEST(SeqNumTest, DistanceRoundTripsWithAddition) {
+  for (std::uint32_t base : {0u, 1000u, 0x7FFFFFFFu, 0xFFFFFFFEu}) {
+    const SeqNum s{base};
+    for (std::uint32_t delta : {0u, 1u, 1460u, 0x10000u}) {
+      EXPECT_EQ(distance(s, s + delta), static_cast<std::int32_t>(delta));
+    }
+  }
+}
+
+TEST(SeqNumTest, HalfRangeBoundaryBehaviour) {
+  // Values exactly 2^31 apart are the ambiguous case: the signed distance
+  // is INT32_MIN in both directions, so the pair is unordered (RFC 1982
+  // leaves this undefined). TCP windows never span 2^31, so this is
+  // documentation, not a constraint.
+  const SeqNum a{0};
+  const SeqNum b{0x80000000u};
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rss::tcp

@@ -1,0 +1,100 @@
+#include "metrics/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace rss::metrics {
+namespace {
+
+TEST(SummaryTest, EmptyInputYieldsZeros) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  const std::array<double, 1> v{5.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(SummaryTest, KnownStatistics) {
+  const std::array<double, 5> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811388300841898, 1e-12);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(SummaryTest, UnsortedInputHandled) {
+  const std::array<double, 4> v{9.0, 1.0, 7.0, 3.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);  // interpolated between 3 and 7
+}
+
+TEST(QuantileSortedTest, InterpolatesLinearly) {
+  const std::array<double, 3> v{0.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 2.0), 20.0);  // clamped
+}
+
+TEST(JainFairnessTest, PerfectFairnessIsOne) {
+  const std::array<double, 4> v{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(v), 1.0);
+}
+
+TEST(JainFairnessTest, WorstCaseIsOneOverN) {
+  const std::array<double, 4> v{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(v), 0.25);
+}
+
+TEST(JainFairnessTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  const std::array<double, 3> zeros{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+TEST(JainFairnessTest, IntermediateValue) {
+  const std::array<double, 2> v{3.0, 1.0};
+  // (4)^2 / (2 * 10) = 0.8
+  EXPECT_DOUBLE_EQ(jain_fairness(v), 0.8);
+}
+
+TEST(AccumulatorTest, MatchesBatchStatistics) {
+  Accumulator acc;
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : v) acc.add(x);
+  const auto s = summarize(v);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, VarianceOfFewSamples) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);  // n=1: undefined -> 0
+}
+
+}  // namespace
+}  // namespace rss::metrics

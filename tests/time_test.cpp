@@ -1,0 +1,82 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rss::sim {
+namespace {
+
+using namespace rss::sim::literals;
+
+TEST(TimeTest, FactoriesAgreeOnUnits) {
+  EXPECT_EQ(Time::seconds(1), Time::milliseconds(1000));
+  EXPECT_EQ(Time::milliseconds(1), Time::microseconds(1000));
+  EXPECT_EQ(Time::microseconds(1), Time::nanoseconds(1000));
+}
+
+TEST(TimeTest, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::from_seconds(1.5), Time::milliseconds(1500));
+  EXPECT_EQ(Time::from_seconds(0.5e-9).nanoseconds_count(), 1);   // rounds up
+  EXPECT_EQ(Time::from_seconds(0.49e-9).nanoseconds_count(), 0);  // rounds down
+  EXPECT_EQ(Time::from_seconds(-1.5), Time::zero() - Time::milliseconds(1500));
+}
+
+TEST(TimeTest, ArithmeticIsClosed) {
+  const Time t = 3_s + 250_ms;
+  EXPECT_EQ(t.milliseconds_count(), 3250);
+  EXPECT_EQ((t - 250_ms), 3_s);
+  EXPECT_EQ((t * 2).milliseconds_count(), 6500);
+  EXPECT_EQ((t / 2).milliseconds_count(), 1625);
+}
+
+TEST(TimeTest, DurationRatio) {
+  EXPECT_DOUBLE_EQ(1_s / 250_ms, 4.0);
+  EXPECT_DOUBLE_EQ(60_ms / 1_s, 0.06);
+}
+
+TEST(TimeTest, ScalingByDouble) {
+  EXPECT_EQ(1_s * 0.5, 500_ms);
+  EXPECT_EQ(100_ms * 2.5, 250_ms);
+}
+
+TEST(TimeTest, ComparisonAndExtremes) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_GT(Time::infinity(), Time::seconds(1'000'000'000));
+  EXPECT_TRUE(Time::zero().is_zero());
+  EXPECT_TRUE((Time::zero() - 1_ns).is_negative());
+}
+
+TEST(TimeTest, MinMaxHelpers) {
+  EXPECT_EQ(min(3_ms, 5_ms), 3_ms);
+  EXPECT_EQ(max(3_ms, 5_ms), 5_ms);
+}
+
+TEST(TimeTest, ToSecondsRoundTrips) {
+  const Time t = 12345678_us;
+  EXPECT_NEAR(t.to_seconds(), 12.345678, 1e-12);
+  EXPECT_EQ(Time::from_seconds(t.to_seconds()), t);
+}
+
+TEST(TimeTest, StreamFormattingPicksCoarsestExactUnit) {
+  auto str = [](Time t) {
+    std::ostringstream os;
+    os << t;
+    return os.str();
+  };
+  EXPECT_EQ(str(2_s), "2s");
+  EXPECT_EQ(str(1500_ms), "1500ms");
+  EXPECT_EQ(str(1001_us), "1001us");
+  EXPECT_EQ(str(999_ns), "999ns");
+  EXPECT_EQ(str(Time::infinity()), "+inf");
+}
+
+TEST(TimeTest, LiteralSuffixesProduceExpectedValues) {
+  EXPECT_EQ((1.5_s), 1500_ms);
+  EXPECT_EQ((42_us).microseconds_count(), 42);
+}
+
+}  // namespace
+}  // namespace rss::sim

@@ -1,0 +1,94 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rss::metrics {
+namespace {
+
+using sim::Time;
+using namespace rss::sim::literals;
+
+TEST(TimeSeriesTest, RecordsAndExposesSamples) {
+  TimeSeries ts{"x"};
+  EXPECT_TRUE(ts.empty());
+  ts.record(1_ms, 1.0);
+  ts.record(2_ms, 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.name(), "x");
+  EXPECT_EQ(ts.front().t, 1_ms);
+  EXPECT_DOUBLE_EQ(ts.back().value, 2.0);
+}
+
+TEST(TimeSeriesTest, ValueAtIsLastObservationAtOrBefore) {
+  TimeSeries ts;
+  ts.record(10_ms, 1.0);
+  ts.record(20_ms, 2.0);
+  ts.record(30_ms, 3.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(5_ms, -1.0), -1.0);  // before first -> fallback
+  EXPECT_DOUBLE_EQ(ts.value_at(10_ms), 1.0);        // exact hit
+  EXPECT_DOUBLE_EQ(ts.value_at(25_ms), 2.0);        // between samples
+  EXPECT_DOUBLE_EQ(ts.value_at(99_ms), 3.0);        // after last
+}
+
+TEST(TimeSeriesTest, ResampleStepFunction) {
+  TimeSeries ts;
+  ts.record(10_ms, 1.0);
+  ts.record(25_ms, 5.0);
+  const auto grid = ts.resample(0_ms, 30_ms, 10_ms, 0.0);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid[0].value, 0.0);  // t=0: initial
+  EXPECT_DOUBLE_EQ(grid[1].value, 1.0);  // t=10
+  EXPECT_DOUBLE_EQ(grid[2].value, 1.0);  // t=20
+  EXPECT_DOUBLE_EQ(grid[3].value, 5.0);  // t=30
+}
+
+TEST(TimeSeriesTest, ResampleRejectsBadPeriod) {
+  TimeSeries ts;
+  EXPECT_THROW((void)ts.resample(0_ms, 10_ms, 0_ms), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, MinMaxMean) {
+  TimeSeries ts;
+  ts.record(1_ms, 4.0);
+  ts.record(2_ms, -2.0);
+  ts.record(3_ms, 7.0);
+  EXPECT_DOUBLE_EQ(ts.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 7.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 3.0);
+}
+
+TEST(TimeSeriesTest, EmptySeriesStatsAreZero) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 0.0);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanOfStepSignal) {
+  TimeSeries ts;
+  // 0 until 10ms, then 10 until 30ms, then 20.
+  ts.record(10_ms, 10.0);
+  ts.record(30_ms, 20.0);
+  // Over [0, 40]: 10ms*0 + 20ms*10 + 10ms*20 = 400 ms-units / 40ms = 10.
+  EXPECT_NEAR(ts.time_weighted_mean(0_ms, 40_ms, 0.0), 10.0, 1e-9);
+  // Over [10, 30]: constant 10.
+  EXPECT_NEAR(ts.time_weighted_mean(10_ms, 30_ms, 0.0), 10.0, 1e-9);
+  // Over [20, 40]: 10ms*10 + 10ms*20 = 15.
+  EXPECT_NEAR(ts.time_weighted_mean(20_ms, 40_ms, 0.0), 15.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanDegenerateWindow) {
+  TimeSeries ts;
+  ts.record(10_ms, 3.0);
+  EXPECT_DOUBLE_EQ(ts.time_weighted_mean(20_ms, 20_ms, 0.0), 3.0);
+}
+
+TEST(TimeSeriesTest, ClearEmpties) {
+  TimeSeries ts;
+  ts.record(1_ms, 1.0);
+  ts.clear();
+  EXPECT_TRUE(ts.empty());
+}
+
+}  // namespace
+}  // namespace rss::metrics

@@ -1,0 +1,115 @@
+#include "control/ziegler_nichols.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/plant.hpp"
+#include "control/relay_tuner.hpp"
+
+namespace rss::control {
+namespace {
+
+/// P-control experiment around an integrator-with-dead-time plant — the
+/// textbook destabilizable loop. Theory: with plant K/s·e^{-Ls}, the loop
+/// is marginally stable at Kc = π / (2·K·L) with period Tc = 4·L.
+struct IntegratorLoop {
+  double k{1.0};
+  double dead_time{0.25};
+  double duration{60.0};
+  double dt{0.005};
+
+  std::vector<ResponseSample> operator()(double kp) const {
+    IntegratorPlant plant{k, dead_time};
+    return run_p_control_experiment(plant, kp, 1.0, duration, dt);
+  }
+};
+
+TEST(ZieglerNicholsTunerTest, FindsCriticalPointOfIntegratorDeadTimeLoop) {
+  const IntegratorLoop loop{};
+  const ZieglerNicholsTuner tuner;
+  const auto result = tuner.tune([&loop](double kp) { return loop(kp); });
+  ASSERT_TRUE(result.has_value());
+
+  const double kc_theory = 3.14159265 / (2.0 * loop.k * loop.dead_time);  // ≈ 6.28
+  const double tc_theory = 4.0 * loop.dead_time;                          // 1.0 s
+  EXPECT_NEAR(result->kc, kc_theory, 0.5 * kc_theory);
+  EXPECT_NEAR(result->tc, tc_theory, 0.35 * tc_theory);
+}
+
+TEST(ZieglerNicholsTunerTest, PaperRuleRatios) {
+  const TuningResult r{10.0, 2.0};
+  const PidGains g = r.paper_rule();
+  EXPECT_DOUBLE_EQ(g.kp, 3.3);   // 0.33 Kc
+  EXPECT_DOUBLE_EQ(g.ti, 1.0);   // 0.5 Tc
+  EXPECT_DOUBLE_EQ(g.td, 0.66);  // 0.33 Tc
+}
+
+TEST(ZieglerNicholsTunerTest, ClassicRules) {
+  const TuningResult r{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(r.classic_zn_pid().kp, 6.0);
+  EXPECT_DOUBLE_EQ(r.classic_zn_pid().td, 0.25);
+  EXPECT_DOUBLE_EQ(r.classic_zn_pi().kp, 4.5);
+  EXPECT_NEAR(r.classic_zn_pi().ti, 2.0 / 1.2, 1e-12);
+  EXPECT_DOUBLE_EQ(r.classic_zn_pi().td, 0.0);
+}
+
+TEST(ZieglerNicholsTunerTest, PureLagIsNotDestabilizable) {
+  // First-order lag with no dead time: P control never oscillates; the
+  // tuner must give up rather than fabricate a result.
+  ZieglerNicholsTuner::Options opt;
+  opt.kp_max = 1e4;
+  const ZieglerNicholsTuner tuner{opt};
+  const auto result = tuner.tune([](double kp) {
+    FirstOrderPlant plant{1.0, 0.5};
+    return run_p_control_experiment(plant, kp, 1.0, 20.0, 0.005);
+  });
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(ZieglerNicholsTunerTest, CountsExperiments) {
+  const IntegratorLoop loop{};
+  const ZieglerNicholsTuner tuner;
+  (void)tuner.tune([&loop](double kp) { return loop(kp); });
+  EXPECT_GT(tuner.experiments_run(), 3);
+  EXPECT_LT(tuner.experiments_run(), 60);
+}
+
+TEST(RelayTunerTest, RecoversCriticalPointOfIntegratorDeadTime) {
+  // Relay feedback on K/s·e^{-Ls}: limit cycle period 4L, and the
+  // describing function gives Kc ≈ π/(2KL) — same target as the Z-N ramp.
+  RelayTuner::Options opt;
+  opt.relay_amplitude = 1.0;
+  const RelayTuner tuner{opt};
+
+  const auto result = tuner.tune([](const std::function<double(double)>& relay) {
+    IntegratorPlant plant{1.0, 0.25};
+    std::vector<ResponseSample> resp;
+    const double dt = 0.002;
+    double y = 0.0;
+    for (double t = 0.0; t < 40.0; t += dt) {
+      y = plant.step(relay(1.0 - y), dt);
+      resp.push_back({t + dt, y});
+    }
+    return resp;
+  });
+
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->tc, 1.0, 0.25);
+  const double kc_theory = 3.14159265 / (2.0 * 0.25);
+  EXPECT_NEAR(result->kc, kc_theory, 0.5 * kc_theory);
+}
+
+TEST(RelayTunerTest, NoLimitCycleYieldsNothing) {
+  const RelayTuner tuner;
+  const auto result = tuner.tune([](const std::function<double(double)>&) {
+    // Flat response regardless of the relay.
+    std::vector<ResponseSample> resp;
+    for (double t = 0.0; t < 10.0; t += 0.01) resp.push_back({t, 1.0});
+    return resp;
+  });
+  EXPECT_FALSE(result.has_value());
+}
+
+}  // namespace
+}  // namespace rss::control
