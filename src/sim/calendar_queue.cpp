@@ -23,6 +23,7 @@ CalendarQueue::CalendarQueue(std::size_t initial_days, Time initial_day_width)
 
 void CalendarQueue::push(Time at, std::uint64_t seq, std::function<void()> cb) {
   if (at < last_popped_) throw std::invalid_argument("CalendarQueue: push into the past");
+  min_bucket_cache_.reset();
   auto& bucket = buckets_[bucket_of(at)];
   Item item{at, seq, std::move(cb)};
   // Buckets stay sorted; insertion keeps the common append case O(1).
@@ -32,9 +33,7 @@ void CalendarQueue::push(Time at, std::uint64_t seq, std::function<void()> cb) {
   maybe_resize();
 }
 
-CalendarQueue::Item CalendarQueue::pop_min() {
-  if (size_ == 0) throw std::logic_error("CalendarQueue: pop from empty queue");
-
+std::size_t CalendarQueue::min_bucket() const {
   // Scan from the bucket of the last popped time forward one "year",
   // accepting only items inside the current year window (classic calendar
   // scan); fall back to a global min when the year scan finds nothing
@@ -46,17 +45,12 @@ CalendarQueue::Item CalendarQueue::pop_min() {
 
   for (std::size_t i = 0; i < days; ++i) {
     const std::uint64_t ticks = start_ticks + i;
-    auto& bucket = buckets_[static_cast<std::size_t>(ticks % days)];
+    const auto& bucket = buckets_[static_cast<std::size_t>(ticks % days)];
     if (bucket.empty()) continue;
     const Item& head = bucket.front();
     // Accept if the head belongs to this day of this year.
     if (static_cast<std::uint64_t>(head.at.nanoseconds_count()) / width_ns == ticks) {
-      Item out = std::move(bucket.front());
-      bucket.erase(bucket.begin());
-      --size_;
-      last_popped_ = out.at;
-      maybe_resize();
-      return out;
+      return static_cast<std::size_t>(ticks % days);
     }
   }
 
@@ -66,12 +60,38 @@ CalendarQueue::Item CalendarQueue::pop_min() {
     if (buckets_[b].empty()) continue;
     if (best == days || item_before(buckets_[b].front(), buckets_[best].front())) best = b;
   }
-  Item out = std::move(buckets_[best].front());
-  buckets_[best].erase(buckets_[best].begin());
+  return best;
+}
+
+CalendarQueue::Item CalendarQueue::pop_min() {
+  if (size_ == 0) throw std::logic_error("CalendarQueue: pop from empty queue");
+  auto& bucket = buckets_[min_bucket_cache_ ? *min_bucket_cache_ : min_bucket()];
+  min_bucket_cache_.reset();
+  Item out = std::move(bucket.front());
+  bucket.erase(bucket.begin());
   --size_;
   last_popped_ = out.at;
   maybe_resize();
   return out;
+}
+
+const CalendarQueue::Item& CalendarQueue::peek_min() const {
+  if (size_ == 0) throw std::logic_error("CalendarQueue: peek into empty queue");
+  if (!min_bucket_cache_) min_bucket_cache_ = min_bucket();
+  return buckets_[*min_bucket_cache_].front();
+}
+
+bool CalendarQueue::remove(Time at, std::uint64_t seq) {
+  if (size_ == 0) return false;
+  auto& bucket = buckets_[bucket_of(at)];
+  const Item probe{at, seq, {}};
+  const auto it = std::lower_bound(bucket.begin(), bucket.end(), probe, item_before);
+  if (it == bucket.end() || it->at != at || it->seq != seq) return false;
+  min_bucket_cache_.reset();
+  bucket.erase(it);
+  --size_;
+  maybe_resize();
+  return true;
 }
 
 Time CalendarQueue::estimate_width() const {

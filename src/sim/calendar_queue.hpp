@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -40,6 +41,16 @@ class CalendarQueue {
   /// clumsy; the caller must check empty() first.
   Item pop_min();
 
+  /// Earliest item without removing it (ties by seq). The caller must check
+  /// empty() first. The reference is invalidated by any mutating call.
+  [[nodiscard]] const Item& peek_min() const;
+
+  /// Remove the item matching (at, seq) wherever it sits; returns true iff
+  /// something was removed. O(bucket) — lets a caller that tracks liveness
+  /// (Scheduler cancellation) delete eagerly instead of lazily, which keeps
+  /// the monotonic pop floor from advancing past still-relevant times.
+  bool remove(Time at, std::uint64_t seq);
+
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t day_count() const { return buckets_.size(); }
@@ -53,8 +64,15 @@ class CalendarQueue {
         static_cast<std::uint64_t>(day_width_.nanoseconds_count());
     return static_cast<std::size_t>(ticks % buckets_.size());
   }
+  /// Bucket index holding the earliest item. Requires size_ > 0.
+  [[nodiscard]] std::size_t min_bucket() const;
   void maybe_resize();
   void rebuild(std::size_t new_days, Time new_width);
+
+  /// Memoized min_bucket() result so the common peek-then-pop sequence
+  /// (Scheduler::run_until does one per event) pays the O(days) scan once.
+  /// Any mutation invalidates it.
+  mutable std::optional<std::size_t> min_bucket_cache_;
   /// Estimate a good day width from a sample of queued items (mean gap).
   [[nodiscard]] Time estimate_width() const;
 

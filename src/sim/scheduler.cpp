@@ -9,14 +9,22 @@ EventId Scheduler::schedule_at(Time at, Callback cb) {
   if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
   if (!cb) throw std::invalid_argument("Scheduler: null callback");
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq, std::move(cb)});
-  live_.insert(seq);
+  if (backend_ == QueueBackend::kCalendarQueue) {
+    calendar_.push(at, seq, std::move(cb));
+  } else {
+    queue_.push(Entry{at, seq, std::move(cb)});
+  }
+  live_.emplace(seq, at);
   return EventId{seq};
 }
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
-  return live_.erase(id.raw()) > 0;
+  const auto it = live_.find(id.raw());
+  if (it == live_.end()) return false;
+  if (backend_ == QueueBackend::kCalendarQueue) calendar_.remove(it->second, it->first);
+  live_.erase(it);
+  return true;
 }
 
 void Scheduler::skim_dead() const {
@@ -26,19 +34,29 @@ void Scheduler::skim_dead() const {
 }
 
 Time Scheduler::next_event_time() const {
+  if (backend_ == QueueBackend::kCalendarQueue) {
+    return calendar_.empty() ? Time::infinity() : calendar_.peek_min().at;
+  }
   skim_dead();
   return queue_.empty() ? Time::infinity() : queue_.top().at;
 }
 
 bool Scheduler::step() {
   if (stop_requested_) return false;
-  skim_dead();
-  if (queue_.empty()) return false;
-  // Move the callback out before popping so re-entrant schedule() calls from
-  // inside the callback cannot invalidate the entry we are executing.
-  Entry entry{queue_.top().at, queue_.top().seq,
-              std::move(const_cast<Entry&>(queue_.top()).cb)};
-  queue_.pop();
+  Entry entry;
+  if (backend_ == QueueBackend::kCalendarQueue) {
+    if (calendar_.empty()) return false;
+    auto item = calendar_.pop_min();
+    entry = Entry{item.at, item.seq, std::move(item.cb)};
+  } else {
+    skim_dead();
+    if (queue_.empty()) return false;
+    // Move the callback out before popping so re-entrant schedule() calls
+    // from inside the callback cannot invalidate the entry we are executing.
+    entry = Entry{queue_.top().at, queue_.top().seq,
+                  std::move(const_cast<Entry&>(queue_.top()).cb)};
+    queue_.pop();
+  }
   live_.erase(entry.seq);
   now_ = entry.at;
   ++executed_;
@@ -55,8 +73,10 @@ void Scheduler::run() {
 void Scheduler::run_until(Time until) {
   stop_requested_ = false;
   while (!stop_requested_) {
-    skim_dead();
-    if (queue_.empty() || queue_.top().at > until) break;
+    // Break on live_.empty(), not on next == infinity: an event scheduled
+    // exactly at Time::infinity() must still fire under
+    // run_until(Time::infinity()) ("events at exactly `until` do fire").
+    if (live_.empty() || next_event_time() > until) break;
     step();
   }
   if (!stop_requested_ && now_ < until) now_ = until;

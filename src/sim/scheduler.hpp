@@ -3,12 +3,23 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/time.hpp"
 
 namespace rss::sim {
+
+/// Event-queue implementation behind Scheduler. Both backends honor the
+/// same contract — (time, insertion-sequence) pop order — so the choice is
+/// purely a performance knob: the binary heap is the robust default, the
+/// calendar queue is O(1) amortized on dense near-uniform event spacings
+/// (packet serializations at line rate).
+enum class QueueBackend {
+  kBinaryHeap,
+  kCalendarQueue,
+};
 
 /// Opaque handle to a scheduled event, used for cancellation. Default
 /// constructed handles are inert (cancel() on them is a no-op).
@@ -33,17 +44,23 @@ class EventId {
 /// a correctness requirement, not a nicety: TCP ACK processing and link
 /// drain events frequently coincide.
 ///
-/// Cancellation is lazy: cancel() removes the id from the live set and the
-/// pop loop discards entries that are no longer live. This keeps
-/// schedule/cancel O(log n) amortized without intrusive heap surgery. TCP
-/// retransmission timers are rescheduled on every ACK, so this path is hot.
+/// Cancellation on the heap backend is lazy: cancel() removes the id from
+/// the live set and the pop loop discards entries that are no longer live.
+/// This keeps schedule/cancel O(log n) amortized without intrusive heap
+/// surgery. TCP retransmission timers are rescheduled on every ACK, so this
+/// path is hot. The calendar backend instead cancels eagerly (buckets are
+/// sorted vectors, so removal is a cheap binary search) — required anyway,
+/// because popping a dead far-future entry would advance the calendar's
+/// monotonic floor past times that are still schedulable.
 class Scheduler {
  public:
   using Callback = std::function<void()>;
 
-  Scheduler() = default;
+  explicit Scheduler(QueueBackend backend = QueueBackend::kBinaryHeap) : backend_{backend} {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] QueueBackend backend() const { return backend_; }
 
   /// Current simulation time. Monotonically non-decreasing.
   [[nodiscard]] Time now() const { return now_; }
@@ -93,11 +110,17 @@ class Scheduler {
     }
   };
 
-  /// Pop dead (cancelled) entries off the top of the heap.
+  /// Pop dead (cancelled) entries off the top of the heap. Heap backend
+  /// only — the calendar holds no dead entries (eager removal).
   void skim_dead() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_;
+  CalendarQueue calendar_;
+  QueueBackend backend_{QueueBackend::kBinaryHeap};
+  /// Live (pending, uncancelled) events. Maps seq -> scheduled time so the
+  /// calendar backend can remove a cancelled entry from its bucket; the
+  /// heap backend only uses the keys.
+  std::unordered_map<std::uint64_t, Time> live_;
   Time now_{Time::zero()};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};

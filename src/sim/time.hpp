@@ -1,5 +1,18 @@
 #pragma once
 
+// Time uses defaulted operator<=> (and the rest of the tree assumes C++20).
+// Without this guard a -std=c++17 build dies with the cryptic "declaration
+// of 'operator<=' as non-function" deep inside this header; fail loudly and
+// early instead. CMake enforces cxx_std_20 via target_compile_features —
+// this catches hand-rolled compiler invocations.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "rss requires C++20: compile with /std:c++20 or newer"
+#endif
+#elif __cplusplus < 202002L
+#error "rss requires C++20: compile with -std=c++20 or newer"
+#endif
+
 #include <compare>
 #include <concepts>
 #include <cstdint>

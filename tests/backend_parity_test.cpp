@@ -1,0 +1,182 @@
+// Backend parity: the binary-heap and calendar-queue Scheduler backends
+// must be observationally identical — same execution order, same now() at
+// every callback, same events_executed(), same cancel() results — for any
+// event script a simulation can produce. The script below mixes bulk
+// scheduling, re-entrant scheduling from callbacks, random cancellation
+// (including from inside callbacks), run_until() phases, and
+// next_event_time() probes between phases.
+
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace rss::sim {
+namespace {
+
+using namespace rss::sim::literals;
+
+struct ParityPlan {
+  std::uint64_t seed;
+  std::size_t events;
+  std::int64_t horizon_ns;
+};
+
+/// Everything observable about one run, for exact comparison.
+struct RunTrace {
+  std::vector<std::pair<std::int64_t, std::size_t>> fired;  // (now at firing, label)
+  std::vector<bool> cancel_results;
+  std::vector<std::int64_t> probes;  // next_event_time() between phases
+  std::int64_t final_now{};
+  std::uint64_t executed{};
+  std::size_t pending{};
+};
+
+RunTrace drive(QueueBackend backend, const ParityPlan& plan) {
+  Scheduler s{backend};
+  Rng rng{plan.seed};
+  RunTrace trace;
+  std::vector<EventId> ids;
+  std::size_t next_label = 0;
+
+  const auto record = [&trace, &s](std::size_t label) {
+    trace.fired.emplace_back(s.now().nanoseconds_count(), label);
+  };
+  // Re-entrant body: fires, then sometimes schedules a child or cancels a
+  // random earlier event from inside the callback. All rng draws happen in
+  // callback execution order, so divergent order also diverges the script —
+  // any parity break cascades into an obvious trace mismatch.
+  const std::function<void(std::size_t)> body = [&](std::size_t label) {
+    record(label);
+    if (rng.next_bool(0.3)) {
+      const std::size_t child = next_label++;
+      const Time at = s.now() + Time::nanoseconds(static_cast<std::int64_t>(
+                                    rng.next_in(0, 1'000'000)));
+      ids.push_back(s.schedule_at(at, [&body, child] { body(child); }));
+    }
+    if (rng.next_bool(0.15) && !ids.empty()) {
+      const auto victim = rng.next_in(0, ids.size() - 1);
+      trace.cancel_results.push_back(s.cancel(ids[victim]));
+    }
+  };
+
+  // Phase 1: bulk schedule across the whole horizon.
+  for (std::size_t i = 0; i < plan.events; ++i) {
+    const std::size_t label = next_label++;
+    const Time at = Time::nanoseconds(
+        static_cast<std::int64_t>(rng.next_in(0, static_cast<std::uint64_t>(plan.horizon_ns))));
+    ids.push_back(s.schedule_at(at, [&body, label] { body(label); }));
+  }
+  // Random up-front cancellations, some of which will later be re-cancelled.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (rng.next_bool(0.2)) trace.cancel_results.push_back(s.cancel(ids[i]));
+  }
+  trace.probes.push_back(s.next_event_time().nanoseconds_count());
+
+  // Phase 2: run the first half of the horizon, then schedule more events
+  // into the still-open window (exercises the calendar's monotonic floor).
+  s.run_until(Time::nanoseconds(plan.horizon_ns / 2));
+  trace.probes.push_back(s.next_event_time().nanoseconds_count());
+  for (std::size_t i = 0; i < plan.events / 4; ++i) {
+    const std::size_t label = next_label++;
+    const Time at = s.now() + Time::nanoseconds(static_cast<std::int64_t>(
+                                  rng.next_in(0, static_cast<std::uint64_t>(plan.horizon_ns))));
+    ids.push_back(s.schedule_at(at, [&body, label] { body(label); }));
+  }
+
+  // Phase 3: cancel a batch (mix of fired, pending, and already-cancelled).
+  for (std::size_t i = 0; i < ids.size(); i += 7) {
+    trace.cancel_results.push_back(s.cancel(ids[i]));
+  }
+  trace.probes.push_back(s.next_event_time().nanoseconds_count());
+
+  // Phase 4: drain.
+  s.run();
+  trace.final_now = s.now().nanoseconds_count();
+  trace.executed = s.events_executed();
+  trace.pending = s.pending();
+  return trace;
+}
+
+class BackendParityTest : public ::testing::TestWithParam<ParityPlan> {};
+
+TEST_P(BackendParityTest, CalendarMatchesHeapExactly) {
+  const auto heap = drive(QueueBackend::kBinaryHeap, GetParam());
+  const auto cal = drive(QueueBackend::kCalendarQueue, GetParam());
+
+  ASSERT_EQ(heap.fired.size(), cal.fired.size());
+  for (std::size_t i = 0; i < heap.fired.size(); ++i) {
+    EXPECT_EQ(heap.fired[i], cal.fired[i]) << "firing " << i;
+  }
+  EXPECT_EQ(heap.cancel_results, cal.cancel_results);
+  EXPECT_EQ(heap.probes, cal.probes);
+  EXPECT_EQ(heap.final_now, cal.final_now);
+  EXPECT_EQ(heap.executed, cal.executed);
+  EXPECT_EQ(heap.pending, cal.pending);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, BackendParityTest,
+    ::testing::Values(ParityPlan{11, 200, 1'000},           // dense ties
+                      ParityPlan{12, 1'000, 1'000'000},     // typical
+                      ParityPlan{13, 3'000, 100},           // extreme tie pressure
+                      ParityPlan{14, 800, 1'000'000'000},   // sparse far-future
+                      ParityPlan{15, 500, 50'000}),
+    [](const ::testing::TestParamInfo<ParityPlan>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.events);
+    });
+
+// The calendar backend must survive the pattern that breaks a naive lazy-
+// cancellation port: cancel the only (future) event, probe next_event_time,
+// then schedule *earlier* than the cancelled event's timestamp.
+TEST(BackendParityTest, CalendarScheduleBelowCancelledFutureEvent) {
+  Scheduler s{QueueBackend::kCalendarQueue};
+  const EventId far = s.schedule_at(10_ms, [] { FAIL() << "cancelled event fired"; });
+  EXPECT_TRUE(s.cancel(far));
+  EXPECT_EQ(s.next_event_time(), Time::infinity());
+  bool fired = false;
+  s.schedule_at(1_ms, [&fired] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 1_ms);
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+// run_until(infinity) must drain the queue and return — "no events left"
+// has to terminate the loop even though no event time exceeds infinity —
+// and per the documented contract ("events at exactly `until` do fire") an
+// event scheduled at the infinity sentinel itself still fires.
+TEST(BackendParityTest, RunUntilInfinityDrainsAndReturns) {
+  for (const auto backend : {QueueBackend::kBinaryHeap, QueueBackend::kCalendarQueue}) {
+    Scheduler s{backend};
+    int fired = 0;
+    s.schedule_at(1_ms, [&fired] { ++fired; });
+    s.schedule_at(2_ms, [&fired] { ++fired; });
+    s.schedule_at(Time::infinity(), [&fired] { ++fired; });
+    s.run_until(Time::infinity());
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(s.now(), Time::infinity());
+    EXPECT_TRUE(s.empty());
+  }
+}
+
+TEST(BackendParityTest, SimulationSelectsBackend) {
+  Simulation sim{42, QueueBackend::kCalendarQueue};
+  EXPECT_EQ(sim.scheduler().backend(), QueueBackend::kCalendarQueue);
+  std::vector<int> order;
+  sim.at(2_ms, [&order] { order.push_back(2); });
+  sim.at(1_ms, [&order] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 2_ms);
+}
+
+}  // namespace
+}  // namespace rss::sim
