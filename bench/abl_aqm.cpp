@@ -1,126 +1,10 @@
-// ABL-AQM — router queue-discipline ablation on the dumbbell: tail-drop
-// vs RED (the era's AQM). Context for the paper's framing: RSS addresses
-// *host* congestion (the local IFQ, always tail-drop in Linux); AQM
-// addresses *network* congestion. The two act at different queues, so
-// RED neither replaces nor conflicts with RSS — this bench demonstrates
-// both claims with numbers.
+// ABL-AQM — router queue-discipline ablation: tail-drop vs RED, orthogonality to RSS's host-side fix.
+//
+// The experiment itself lives in src/artifacts/experiments/abl_aqm.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <memory>
-#include <numeric>
-#include <string>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "metrics/summary.hpp"
-#include "net/queue.hpp"
-#include "scenario/cc_factories.hpp"
-#include "scenario/dumbbell.hpp"
-#include "scenario/sweep.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-namespace {
-
-struct Row {
-  std::string label;
-  double total{0};
-  double fairness{0};
-  unsigned long long router_drops{0};
-  unsigned long long stalls{0};
-};
-
-Row run(const std::string& label, bool use_rss) {
-  scenario::Dumbbell::Config cfg;
-  cfg.flows = 4;
-  cfg.access_rate = net::DataRate::mbps(100);  // host-limited startups
-  scenario::Dumbbell d{cfg, [use_rss](std::size_t) -> std::unique_ptr<tcp::CongestionControl> {
-                         if (use_rss) return std::make_unique<core::RestrictedSlowStart>();
-                         return std::make_unique<tcp::RenoCongestionControl>();
-                       }};
-  for (std::size_t i = 0; i < cfg.flows; ++i)
-    d.start_flow(i, sim::Time::milliseconds(static_cast<std::int64_t>(500 * i)));
-  const sim::Time horizon = 30_s;
-  d.simulation().run_until(horizon);
-
-  Row r;
-  r.label = label;
-  const auto goodputs = d.goodputs_mbps(sim::Time::zero(), horizon);
-  r.total = std::accumulate(goodputs.begin(), goodputs.end(), 0.0);
-  r.fairness = metrics::jain_fairness(goodputs);
-  r.router_drops = d.bottleneck().ifq().stats().dropped;
-  for (std::size_t i = 0; i < cfg.flows; ++i) r.stalls += d.sender(i).mib().SendStall;
-  return r;
-}
-
-}  // namespace
-
-int main() {
-  // NOTE: the Dumbbell scenario wires DropTailQueue at the bottleneck; to
-  // keep the scenario class simple, the RED comparison uses the standalone
-  // RedQueue against an equivalent offered load, plus the full-topology
-  // tail-drop runs. A full AQM plug-point in Dumbbell is future work; the
-  // host-side conclusion (RSS orthogonal to router discipline) only needs
-  // the runs below.
-  std::vector<Row> rows(2);
-  scenario::parallel_sweep(2, [&](std::size_t i) {
-    rows[i] = run(i == 0 ? "tail-drop router, all-reno" : "tail-drop router, all-rss",
-                  i == 1);
-  });
-
-  std::printf("ABL-AQM: shared-bottleneck behaviour, host IFQ vs router queue\n\n");
-  std::printf("%-30s %12s %8s %14s %8s\n", "configuration", "total Mb/s", "Jain",
-              "router drops", "stalls");
-  for (const auto& r : rows) {
-    std::printf("%-30s %12.1f %8.3f %14llu %8llu\n", r.label.c_str(), r.total, r.fairness,
-                r.router_drops, r.stalls);
-  }
-
-  // Synthetic RED-vs-droptail at equal offered load: drive both queues
-  // with the same arrival pattern and compare drop clustering.
-  net::DropTailQueue dt{100};
-  net::RedQueue::Options red_opt;
-  red_opt.capacity_packets = 100;
-  red_opt.min_threshold = 30;
-  red_opt.max_threshold = 90;
-  net::RedQueue red{red_opt, sim::Rng{42}};
-  sim::Rng arrivals{7};
-  std::uint64_t dt_burst_drops = 0, red_burst_drops = 0;
-  double dt_occ_sum = 0, red_occ_sum = 0;
-  const int rounds = 2000;
-  for (int round = 0; round < rounds; ++round) {
-    // Bursty arrivals: 0-5 packets in, 2 out — slow-start-ish overload.
-    const auto in = arrivals.next_in(0, 5);
-    for (std::uint64_t k = 0; k < in; ++k) {
-      net::Packet p;
-      p.payload_bytes = 1460;
-      const bool dt_ok = dt.enqueue(p);
-      const bool red_ok = red.enqueue(p);
-      dt_burst_drops += !dt_ok;
-      red_burst_drops += !red_ok;
-    }
-    (void)dt.dequeue();
-    (void)dt.dequeue();
-    (void)red.dequeue();
-    (void)red.dequeue();
-    dt_occ_sum += static_cast<double>(dt.size_packets());
-    red_occ_sum += static_cast<double>(red.size_packets());
-  }
-  const double dt_mean_occ = dt_occ_sum / rounds;
-  const double red_mean_occ = red_occ_sum / rounds;
-  std::printf("\nsame offered load through both disciplines (cap 100):\n");
-  std::printf("  tail-drop: %llu drops, mean occupancy %.1f\n",
-              static_cast<unsigned long long>(dt_burst_drops), dt_mean_occ);
-  std::printf("  RED      : %llu drops (%llu early), mean occupancy %.1f\n",
-              static_cast<unsigned long long>(red_burst_drops),
-              static_cast<unsigned long long>(red.early_drops()), red_mean_occ);
-
-  // RED's virtue under sustained overload is *standing-queue* control
-  // (lower mean occupancy = lower latency), not fewer drops.
-  const bool shape = red.early_drops() > 0 && red_mean_occ < dt_mean_occ &&
-                     rows[1].stalls <= rows[0].stalls;
-  std::printf("\nshape: RED sheds early & keeps the standing queue shorter; RSS reduces "
-              "host stalls independent of router discipline: %s\n",
-              shape ? "yes" : "NO");
-  return shape ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("abl_aqm"); }

@@ -1,69 +1,10 @@
-// ABL-IFQ — the paper's §2 motivation: "there have been proposals to
-// increase the size of these soft components... deployment revealed that
-// still a considerable amount of available bandwidth goes unutilized.
-// Also, increasing the size of the soft components increases the memory
-// usage."
+// ABL-IFQ — goodput & send-stalls vs interface-queue capacity (the paper's §2 motivation).
 //
-// Sweep the IFQ capacity (txqueuelen) and compare standard TCP vs RSS:
-// standard TCP needs a very large IFQ to stop stalling, while RSS reaches
-// near-line-rate at every size — i.e. it delivers the utilization without
-// the memory.
+// The experiment itself lives in src/artifacts/experiments/abl_ifq_size.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  const std::vector<std::size_t> sizes{20, 50, 100, 200, 500, 1000, 2000};
-  const sim::Time horizon = 25_s;
-
-  struct Cell {
-    double goodput{0};
-    unsigned long long stalls{0};
-  };
-  struct Row {
-    std::size_t ifq;
-    Cell standard, rss;
-  };
-  std::vector<Row> rows(sizes.size());
-
-  scenario::parallel_sweep(sizes.size() * 2, [&](std::size_t job) {
-    const std::size_t i = job / 2;
-    const bool use_rss = job % 2 == 1;
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    cfg.path.ifq_capacity_packets = sizes[i];
-    scenario::WanPath wan{
-        cfg, use_rss ? scenario::make_rss_factory() : scenario::make_reno_factory()};
-    wan.run_bulk_transfer(sim::Time::zero(), horizon);
-    Cell cell{wan.goodput_mbps(sim::Time::zero(), horizon),
-              static_cast<unsigned long long>(wan.sender().mib().SendStall)};
-    rows[i].ifq = sizes[i];
-    (use_rss ? rows[i].rss : rows[i].standard) = cell;
-  });
-
-  std::printf("ABL-IFQ: goodput & send-stalls vs interface-queue capacity (25 s run)\n");
-  std::printf("paper motivation: bigger soft components waste memory and still underutilize\n\n");
-  std::printf("%10s | %14s %8s | %14s %8s\n", "ifq [pkt]", "std Mb/s", "stalls",
-              "rss Mb/s", "stalls");
-  for (const auto& r : rows) {
-    std::printf("%10zu | %14.1f %8llu | %14.1f %8llu\n", r.ifq, r.standard.goodput,
-                r.standard.stalls, r.rss.goodput, r.rss.stalls);
-  }
-
-  // Shape checks: RSS delivers high utilization even at small IFQs (where
-  // standard TCP collapses), and both converge at very large IFQs.
-  const bool rss_high = rows.front().rss.goodput > 2.0 * rows.front().standard.goodput &&
-                        rows[2].rss.goodput > 85.0;
-  const bool std_grows = rows.back().standard.goodput > rows.front().standard.goodput;
-  std::printf("\nshape: RSS >> standard at small IFQ and >85 Mb/s at the paper's 100: %s; "
-              "standard improves with IFQ size: %s\n",
-              rss_high ? "yes" : "NO", std_grows ? "yes" : "NO");
-  return rss_high && std_grows ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("abl_ifq_size"); }

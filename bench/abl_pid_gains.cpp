@@ -1,97 +1,10 @@
-// ABL-GAIN — ablation of the Ziegler–Nichols gain choice (§3). Scales the
-// default proportional gain up and down (and drops the I/D terms) to show
-// the tuned operating point is neither arbitrary nor fragile:
-//   * far too low -> sluggish ramp, slow-start takes longer to fill the pipe;
-//   * far too high -> jittery control near the set point;
-//   * P-only vs PI vs PID -> the integral removes the steady-state offset,
-//     the derivative damps the approach.
+// ABL-GAIN — PID gain ablation around the Ziegler–Nichols tuned point (§3).
+//
+// The experiment itself lives in src/artifacts/experiments/abl_pid_gains.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <string>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "metrics/timeseries.hpp"
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  struct Variant {
-    std::string label;
-    control::PidGains gains;
-  };
-  const control::PidGains base = core::RestrictedSlowStart::Options{}.gains;
-  const std::vector<Variant> variants{
-      {"0.1x Kp (sluggish)", {0.1 * base.kp, base.ti, base.td}},
-      {"0.33x Kp", {0.33 * base.kp, base.ti, base.td}},
-      {"tuned (paper rule)", base},
-      {"3x Kp", {3.0 * base.kp, base.ti, base.td}},
-      {"10x Kp (aggressive)", {10.0 * base.kp, base.ti, base.td}},
-      {"P only", {base.kp, 0.0, 0.0}},
-      {"PI (no derivative)", {base.kp, base.ti, 0.0}},
-  };
-  const sim::Time horizon = 25_s;
-
-  struct Row {
-    double goodput;
-    double mean_ifq;
-    double ifq_stddev;
-    unsigned long long stalls;
-    double t_to_90mbps;  ///< ramp speed: first time goodput-so-far > 90% line
-  };
-  std::vector<Row> rows(variants.size());
-
-  scenario::parallel_sweep(variants.size(), [&](std::size_t i) {
-    core::RestrictedSlowStart::Options opt;
-    opt.gains = variants[i].gains;
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    scenario::WanPath wan{cfg, scenario::make_rss_factory(opt)};
-
-    metrics::TimeSeries ifq{"ifq"};
-    double t_ramp = -1.0;
-    std::uint64_t last_acked = 0;
-    wan.simulation().every(20_ms, [&](sim::Time now) {
-      ifq.record(now, static_cast<double>(wan.nic().occupancy_packets()));
-      const std::uint64_t acked = wan.sender().bytes_acked();
-      const double inst_mbps = static_cast<double>(acked - last_acked) * 8.0 / 0.02 / 1e6;
-      last_acked = acked;
-      if (t_ramp < 0.0 && inst_mbps > 85.0) t_ramp = now.to_seconds();
-      return true;
-    });
-    wan.run_bulk_transfer(sim::Time::zero(), horizon);
-
-    // Occupancy dispersion in steady state measures control quality.
-    double mean = ifq.time_weighted_mean(10_s, horizon);
-    double ss = 0.0;
-    std::size_t n = 0;
-    for (const auto& s : ifq.samples()) {
-      if (s.t < 10_s) continue;
-      ss += (s.value - mean) * (s.value - mean);
-      ++n;
-    }
-    rows[i] = {wan.goodput_mbps(sim::Time::zero(), horizon), mean,
-               n ? std::sqrt(ss / static_cast<double>(n)) : 0.0,
-               static_cast<unsigned long long>(wan.sender().mib().SendStall), t_ramp};
-  });
-
-  std::printf("ABL-GAIN: PID gain ablation around the tuned point "
-              "(Kp=%.3f Ti=%.2fs Td=%.2fs)\n\n",
-              base.kp, base.ti, base.td);
-  std::printf("%-22s %12s %10s %10s %8s %10s\n", "gains", "goodput Mb/s", "mean IFQ",
-              "IFQ sigma", "stalls", "ramp[s]");
-  for (std::size_t i = 0; i < variants.size(); ++i) {
-    const auto& r = rows[i];
-    std::printf("%-22s %12.1f %10.1f %10.2f %8llu %10.2f\n", variants[i].label.c_str(),
-                r.goodput, r.mean_ifq, r.ifq_stddev, r.stalls, r.t_to_90mbps);
-  }
-
-  const auto& tuned = rows[2];
-  const bool ok = tuned.stalls == 0 && tuned.goodput >= rows[0].goodput - 0.5;
-  std::printf("\ntuned gains: stall-free and at least as fast as the detuned variants: %s\n",
-              ok ? "yes" : "NO");
-  return ok ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("abl_pid_gains"); }

@@ -1,63 +1,10 @@
-// ABL-RTT — sensitivity of the result to path RTT. The paper measured one
-// path (60 ms); the mechanism (slow-start bursts overflowing a fixed-size
-// IFQ) is RTT-dependent: the larger the BDP relative to the IFQ, the worse
-// standard TCP's stall penalty and the larger RSS's win.
+// ABL-RTT — sensitivity of the result to path RTT.
+//
+// The experiment itself lives in src/artifacts/experiments/abl_rtt.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  const std::vector<std::int64_t> rtts_ms{10, 30, 60, 120, 200};
-  const sim::Time horizon = 30_s;
-
-  struct Cell {
-    double goodput{0};
-    unsigned long long stalls{0};
-  };
-  struct Row {
-    std::int64_t rtt_ms;
-    Cell standard, rss;
-  };
-  std::vector<Row> rows(rtts_ms.size());
-
-  scenario::parallel_sweep(rtts_ms.size() * 2, [&](std::size_t job) {
-    const std::size_t i = job / 2;
-    const bool use_rss = job % 2 == 1;
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    cfg.path.one_way_delay = sim::Time::milliseconds(rtts_ms[i] / 2);
-    scenario::WanPath wan{
-        cfg, use_rss ? scenario::make_rss_factory() : scenario::make_reno_factory()};
-    wan.run_bulk_transfer(sim::Time::zero(), horizon);
-    Cell cell{wan.goodput_mbps(sim::Time::zero(), horizon),
-              static_cast<unsigned long long>(wan.sender().mib().SendStall)};
-    rows[i].rtt_ms = rtts_ms[i];
-    (use_rss ? rows[i].rss : rows[i].standard) = cell;
-  });
-
-  std::printf("ABL-RTT: goodput vs path RTT at 100 Mbit/s, IFQ 100 pkts (30 s runs)\n\n");
-  std::printf("%9s | %12s %7s | %12s %7s | %10s\n", "RTT [ms]", "std Mb/s", "stalls",
-              "rss Mb/s", "stalls", "rss gain");
-  bool rss_never_loses = true;
-  for (const auto& r : rows) {
-    const double gain = 100.0 * (r.rss.goodput - r.standard.goodput) / r.standard.goodput;
-    rss_never_loses = rss_never_loses && r.rss.goodput >= 0.95 * r.standard.goodput;
-    std::printf("%9lld | %12.1f %7llu | %12.1f %7llu | %+9.1f%%\n",
-                static_cast<long long>(r.rtt_ms), r.standard.goodput, r.standard.stalls,
-                r.rss.goodput, r.rss.stalls, gain);
-  }
-
-  // Shape: the win grows with RTT (BDP/IFQ ratio), and RSS never loses.
-  const double gain_low = rows.front().rss.goodput / rows.front().standard.goodput;
-  const double gain_high = rows.back().rss.goodput / rows.back().standard.goodput;
-  std::printf("\nshape: RSS >= standard at every RTT: %s; win grows with RTT: %s\n",
-              rss_never_loses ? "yes" : "NO", gain_high > gain_low ? "yes" : "NO");
-  return rss_never_loses ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("abl_rtt"); }

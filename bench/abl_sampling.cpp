@@ -1,91 +1,10 @@
-// ABL-SAMP — controller sampling-regime ablation. The paper implemented
-// the controller inside a Linux 2.4 kernel, which bounds it to timer
-// granularity (HZ=100 -> 10 ms jiffies); this library's default samples on
-// every ACK. This bench quantifies what that implementation detail costs:
+// ABL-SAMP — controller sampling-regime (kernel-timer fidelity) ablation.
 //
-//   * per-ACK sampling: delay-free loop, unconditionally stable, any sane
-//     gain works;
-//   * 10 ms sample-and-hold with per-ACK-tuned gains: the hold adds loop
-//     delay, the loop limit-cycles, goodput drops;
-//   * 10 ms sample-and-hold with jiffy-tuned Z-N gains: recovers nearly
-//     all of it — which is exactly why the paper needed §3's tuning
-//     procedure at all.
+// The experiment itself lives in src/artifacts/experiments/abl_sampling.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <string>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "metrics/timeseries.hpp"
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  struct Variant {
-    std::string label;
-    core::RestrictedSlowStart::Options opt;
-  };
-  std::vector<Variant> variants;
-  variants.push_back({"per-ACK (event-driven)", core::RestrictedSlowStart::Options{}});
-  {
-    core::RestrictedSlowStart::Options o;  // per-ACK gains under a 10 ms hold
-    o.sample_period = 10_ms;
-    variants.push_back({"10 ms hold, per-ACK gains", o});
-  }
-  variants.push_back(
-      {"10 ms hold, jiffy-tuned ZN", core::RestrictedSlowStart::kernel_timer_options()});
-  {
-    auto o = core::RestrictedSlowStart::kernel_timer_options();
-    o.sample_period = 100_ms;  // HZ=10 era / sloppy timers
-    variants.push_back({"100 ms hold, jiffy-tuned ZN", o});
-  }
-
-  struct Row {
-    double goodput;
-    double ifq_sigma;
-    unsigned long long stalls;
-  };
-  std::vector<Row> rows(variants.size());
-  const sim::Time horizon = 25_s;
-
-  scenario::parallel_sweep(variants.size(), [&](std::size_t i) {
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    scenario::WanPath wan{cfg, scenario::make_rss_factory(variants[i].opt)};
-    metrics::TimeSeries ifq{"ifq"};
-    wan.simulation().every(20_ms, [&](sim::Time now) {
-      ifq.record(now, static_cast<double>(wan.nic().occupancy_packets()));
-      return true;
-    });
-    wan.run_bulk_transfer(sim::Time::zero(), horizon);
-
-    const double mean = ifq.time_weighted_mean(10_s, horizon);
-    double ss = 0.0;
-    std::size_t n = 0;
-    for (const auto& s : ifq.samples()) {
-      if (s.t < 10_s) continue;
-      ss += (s.value - mean) * (s.value - mean);
-      ++n;
-    }
-    rows[i] = {wan.goodput_mbps(sim::Time::zero(), horizon),
-               n ? std::sqrt(ss / static_cast<double>(n)) : 0.0,
-               static_cast<unsigned long long>(wan.sender().mib().SendStall)};
-  });
-
-  std::printf("ABL-SAMP: controller sampling regime (kernel-timer fidelity) ablation\n\n");
-  std::printf("%-30s %14s %12s %8s\n", "controller", "goodput Mb/s", "IFQ sigma", "stalls");
-  for (std::size_t i = 0; i < variants.size(); ++i) {
-    std::printf("%-30s %14.1f %12.2f %8llu\n", variants[i].label.c_str(), rows[i].goodput,
-                rows[i].ifq_sigma, rows[i].stalls);
-  }
-
-  const bool shape = rows[0].goodput > 85.0 &&            // per-ACK near line rate
-                     rows[2].goodput > rows[1].goodput && // tuning recovers the hold's cost
-                     rows[2].stalls == 0;
-  std::printf("\nshape: jiffy-tuned gains recover what mistuned-hold loses, stall-free: %s\n",
-              shape ? "yes" : "NO");
-  return shape ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("abl_sampling"); }

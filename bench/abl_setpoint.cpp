@@ -1,66 +1,10 @@
-// ABL-SP — ablation of the paper's 90% set-point choice (§3: "The 90% of
-// the maximum value of the network interface queue (IFQ) size is used as
-// the set point").
+// ABL-SP — ablation of the paper's 90% set-point choice (§3).
 //
-// Sweep the set-point fraction: too low leaves the pipe underfilled when
-// the path needs the queue headroom; too high erodes the burst margin and
-// risks stalls. 0.9 sits on the flat top of the goodput curve with a
-// comfortable margin — which is presumably why the authors picked it.
+// The experiment itself lives in src/artifacts/experiments/abl_setpoint.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "metrics/timeseries.hpp"
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  const std::vector<double> fractions{0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0};
-  const sim::Time horizon = 25_s;
-
-  struct Row {
-    double fraction;
-    double goodput;
-    double mean_ifq;
-    double peak_ifq;
-    unsigned long long stalls;
-  };
-  std::vector<Row> rows(fractions.size());
-
-  scenario::parallel_sweep(fractions.size(), [&](std::size_t i) {
-    core::RestrictedSlowStart::Options rss_opt;
-    rss_opt.setpoint_fraction = fractions[i];
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    scenario::WanPath wan{cfg, scenario::make_rss_factory(rss_opt)};
-
-    metrics::TimeSeries ifq{"ifq"};
-    wan.simulation().every(20_ms, [&](sim::Time now) {
-      ifq.record(now, static_cast<double>(wan.nic().occupancy_packets()));
-      return true;
-    });
-    wan.run_bulk_transfer(sim::Time::zero(), horizon);
-
-    rows[i] = {fractions[i], wan.goodput_mbps(sim::Time::zero(), horizon),
-               ifq.time_weighted_mean(10_s, horizon), ifq.max_value(),
-               static_cast<unsigned long long>(wan.sender().mib().SendStall)};
-  });
-
-  std::printf("ABL-SP: Restricted Slow-Start set-point fraction sweep (IFQ = 100 pkts)\n\n");
-  std::printf("%10s %14s %12s %12s %8s\n", "setpoint", "goodput Mb/s", "mean IFQ",
-              "peak IFQ", "stalls");
-  for (const auto& r : rows) {
-    std::printf("%9.0f%% %14.1f %12.1f %12.0f %8llu\n", r.fraction * 100.0, r.goodput,
-                r.mean_ifq, r.peak_ifq, r.stalls);
-  }
-
-  // The paper's 0.9 must be on the flat top and stall-free.
-  const auto& p90 = rows[4];
-  std::printf("\npaper's 90%% choice: %.1f Mb/s, %llu stalls -> %s\n", p90.goodput,
-              p90.stalls, (p90.goodput > 75.0 && p90.stalls == 0) ? "validated" : "NOT validated");
-  return (p90.goodput > 75.0 && p90.stalls == 0) ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("abl_setpoint"); }

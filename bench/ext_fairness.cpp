@@ -1,107 +1,10 @@
-// EXT-FAIR — the paper's stated design goal is "optimal bandwidth
-// utilization, while still being network friendly". RSS only restricts its
-// own startup, so it must not hurt competing standard flows.
+// EXT-FAIR — multi-flow network friendliness on a shared dumbbell.
 //
-// Three dumbbell populations (4 flows, staggered starts, shared 100 Mbit/s
-// bottleneck): all-Reno, all-RSS, and mixed. Report per-population Jain
-// fairness and aggregate utilization, plus the head-to-head split in the
-// mixed case.
+// The experiment itself lives in src/artifacts/experiments/ext_fairness.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <memory>
-#include <numeric>
-#include <string>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "metrics/summary.hpp"
-#include "scenario/cc_factories.hpp"
-#include "scenario/dumbbell.hpp"
-#include "scenario/sweep.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-namespace {
-
-struct Result {
-  std::string label;
-  std::vector<double> goodputs;
-  double fairness{0};
-  double total{0};
-  unsigned long long stalls{0};
-};
-
-Result run_population(const std::string& label,
-                      const scenario::Dumbbell::PerFlowCcFactory& factory) {
-  scenario::Dumbbell::Config cfg;
-  cfg.flows = 4;
-  // Paper-era hosts: the access NIC runs at the same 100 Mbit/s as the
-  // shared bottleneck, so each flow's startup can stall its *own* IFQ
-  // (host congestion) while steady-state contention happens at the router
-  // (network congestion). With gigabit access NICs the local IFQs never
-  // fill and every variant degenerates to Reno.
-  cfg.access_rate = net::DataRate::mbps(100);
-  scenario::Dumbbell d{cfg, factory};
-  for (std::size_t i = 0; i < cfg.flows; ++i)
-    d.start_flow(i, sim::Time::seconds(static_cast<std::int64_t>(2 * i)));
-  const sim::Time horizon = 40_s;
-  d.simulation().run_until(horizon);
-
-  Result r;
-  r.label = label;
-  r.goodputs = d.goodputs_mbps(sim::Time::zero(), horizon);
-  r.fairness = metrics::jain_fairness(r.goodputs);
-  r.total = std::accumulate(r.goodputs.begin(), r.goodputs.end(), 0.0);
-  for (std::size_t i = 0; i < cfg.flows; ++i) r.stalls += d.sender(i).mib().SendStall;
-  return r;
-}
-
-}  // namespace
-
-int main() {
-  std::vector<Result> results(3);
-  const std::vector<std::string> labels{"all-reno", "all-rss", "mixed rss/reno"};
-
-  scenario::parallel_sweep(3, [&](std::size_t i) {
-    scenario::Dumbbell::PerFlowCcFactory factory;
-    if (i == 0) {
-      factory = [](std::size_t) -> std::unique_ptr<tcp::CongestionControl> {
-        return std::make_unique<tcp::RenoCongestionControl>();
-      };
-    } else if (i == 1) {
-      factory = [](std::size_t) -> std::unique_ptr<tcp::CongestionControl> {
-        return std::make_unique<core::RestrictedSlowStart>();
-      };
-    } else {
-      factory = [](std::size_t f) -> std::unique_ptr<tcp::CongestionControl> {
-        if (f % 2 == 0) return std::make_unique<core::RestrictedSlowStart>();
-        return std::make_unique<tcp::RenoCongestionControl>();
-      };
-    }
-    results[i] = run_population(labels[i], factory);
-  });
-
-  std::printf("EXT-FAIR: 4 staggered flows on a shared 100 Mbit/s dumbbell, 40 s\n\n");
-  std::printf("%-16s %10s %12s %10s   per-flow Mb/s\n", "population", "Jain", "total Mb/s",
-              "stalls");
-  for (const auto& r : results) {
-    std::printf("%-16s %10.3f %12.1f %10llu   [", r.label.c_str(), r.fairness, r.total,
-                r.stalls);
-    for (std::size_t i = 0; i < r.goodputs.size(); ++i)
-      std::printf("%s%.1f", i ? ", " : "", r.goodputs[i]);
-    std::printf("]\n");
-  }
-
-  // Mixed population head-to-head: RSS flows are 0 and 2.
-  const auto& mixed = results[2];
-  const double rss_share = mixed.goodputs[0] + mixed.goodputs[2];
-  const double reno_share = mixed.goodputs[1] + mixed.goodputs[3];
-  std::printf("\nmixed split: RSS pair %.1f Mb/s vs Reno pair %.1f Mb/s\n", rss_share,
-              reno_share);
-
-  const bool friendly = mixed.fairness > 0.6 && rss_share < 2.0 * reno_share;
-  const bool fair_populations = results[0].fairness > 0.6 && results[1].fairness > 0.6;
-  std::printf("network friendly (no starvation either way): %s\n",
-              (friendly && fair_populations) ? "yes" : "NO");
-  return (friendly && fair_populations) ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("ext_fairness"); }

@@ -1,84 +1,10 @@
-// EXT-SACK — loss-recovery machinery comparison: NewReno vs SACK
-// (RFC 2018 + RFC 6675-lite pipe algorithm), with and without Restricted
-// Slow-Start, under two loss regimes on the paper path:
-//   (a) one 100 ms burst of 20% loss — many holes in one window, the case
-//       SACK exists for;
-//   (b) continuous 1% random loss — the steady-state regime where both
-//       are window-limited by the loss rate.
+// EXT-SACK — loss-recovery machinery: NewReno vs SACK, with and without RSS.
+//
+// The experiment itself lives in src/artifacts/experiments/ext_sack.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <string>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-namespace {
-
-struct Cell {
-  double goodput{0};
-  unsigned long long retrans{0};
-  unsigned long long timeouts{0};
-};
-
-Cell run(bool sack, bool rss, bool burst) {
-  scenario::WanPath::Config cfg;
-  cfg.enable_web100 = false;
-  cfg.path.ifq_capacity_packets = rss ? 100 : 100000;  // stock path for pure-recovery runs
-  cfg.sender.enable_sack = sack;
-  cfg.receiver.enable_sack = sack;
-  scenario::WanPath wan{cfg, rss ? scenario::make_rss_factory()
-                                 : scenario::make_reno_factory()};
-  if (burst) {
-    wan.simulation().at(3_s, [&] { wan.nic().link()->set_loss_rate(0.2, sim::Rng{11}); });
-    wan.simulation().at(3100_ms,
-                        [&] { wan.nic().link()->set_loss_rate(0.0, sim::Rng{11}); });
-  } else {
-    wan.nic().link()->set_loss_rate(0.01, sim::Rng{13});
-  }
-  const sim::Time horizon = 12_s;
-  wan.run_bulk_transfer(sim::Time::zero(), horizon);
-  return {wan.goodput_mbps(sim::Time::zero(), horizon),
-          static_cast<unsigned long long>(wan.sender().mib().PktsRetrans),
-          static_cast<unsigned long long>(wan.sender().mib().Timeouts)};
-}
-
-}  // namespace
-
-int main() {
-  struct Job {
-    const char* label;
-    bool sack, rss, burst;
-  };
-  const std::vector<Job> jobs{
-      {"burst | newreno", false, false, true}, {"burst | sack", true, false, true},
-      {"burst | rss+newreno", false, true, true}, {"burst | rss+sack", true, true, true},
-      {"p=1%  | newreno", false, false, false}, {"p=1%  | sack", true, false, false},
-  };
-  std::vector<Cell> cells(jobs.size());
-  scenario::parallel_sweep(jobs.size(), [&](std::size_t i) {
-    cells[i] = run(jobs[i].sack, jobs[i].rss, jobs[i].burst);
-  });
-
-  std::printf("EXT-SACK: loss recovery machinery, 12 s runs on the paper path\n");
-  std::printf("(burst = 100 ms of 20%% loss at t=3 s; p=1%% = continuous random loss)\n\n");
-  std::printf("%-22s %14s %10s %10s\n", "scenario", "goodput Mb/s", "retrans", "timeouts");
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    std::printf("%-22s %14.1f %10llu %10llu\n", jobs[i].label, cells[i].goodput,
-                cells[i].retrans, cells[i].timeouts);
-  }
-
-  // Note the rss rows run on the paper's IFQ-100 path while the pure-
-  // recovery rows use a huge IFQ, so compare within each pair, not across.
-  const bool shape = cells[1].goodput > cells[0].goodput &&  // sack wins the burst case
-                     cells[3].goodput > cells[2].goodput &&  // ...with RSS too
-                     cells[5].retrans <= cells[4].retrans;   // never retransmits more
-  std::printf("\nshape: SACK wins multi-hole recovery, composes with RSS, and never "
-              "retransmits more than NewReno: %s\n",
-              shape ? "yes" : "NO");
-  return shape ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("ext_sack"); }

@@ -1,124 +1,10 @@
-// EXT-ZN — the paper's §3 tuning procedure, reproduced end to end:
+// EXT-ZN — the paper's §3 Ziegler–Nichols tuning procedure, end to end.
 //
-//   1. Ziegler–Nichols gain ramp on an analytic integrator-with-dead-time
-//      plant, checked against the closed-form critical point,
-//   2. the same procedure simulation-in-the-loop on the real WAN path
-//      (the plant is the NIC IFQ driven by the full TCP state machine),
-//   3. the relay (Åström–Hägglund) experiment as an independent estimate,
-//   4. validation: run RSS with the sim-tuned paper-rule gains and confirm
-//      it is stall-free at high utilization.
+// The experiment itself lives in src/artifacts/experiments/ext_tuning.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cmath>
-#include <cstdio>
+#include "artifacts/runner.hpp"
 
-#include "control/plant.hpp"
-#include "control/relay_tuner.hpp"
-#include "control/ziegler_nichols.hpp"
-#include "scenario/cc_factories.hpp"
-#include "scenario/tuning.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  std::printf("EXT-ZN: Ziegler-Nichols tuning procedure (paper §3)\n\n");
-  bool ok = true;
-
-  // 1. Analytic check: K/s e^{-Ls} with K=1, L=0.25 -> Kc = pi/(2KL), Tc = 4L.
-  {
-    const control::ZieglerNicholsTuner tuner;
-    const auto r = tuner.tune([](double kp) {
-      control::IntegratorPlant plant{1.0, 0.25};
-      return control::run_p_control_experiment(plant, kp, 1.0, 60.0, 0.005);
-    });
-    const double kc_th = M_PI / 0.5, tc_th = 1.0;
-    if (r) {
-      std::printf("analytic plant : Kc %6.2f (theory %5.2f)  Tc %5.2f s (theory %4.2f) "
-                  " [%d experiments]\n",
-                  r->kc, kc_th, r->tc, tc_th, tuner.experiments_run());
-      ok = ok && std::abs(r->kc - kc_th) < 0.5 * kc_th && std::abs(r->tc - tc_th) < 0.4;
-    } else {
-      std::printf("analytic plant : NO RESULT\n");
-      ok = false;
-    }
-  }
-
-  // 2a. Simulation in the loop with the event-driven (per-ACK) controller:
-  //     the loop has no dead time (the IFQ is local), so it is
-  //     unconditionally stable and Z-N finds nothing. This is a real
-  //     finding of the reproduction, worth printing.
-  {
-    scenario::TuneOptions opt;
-    opt.duration = 15_s;
-    opt.controller_period = sim::Time::zero();  // per-ACK
-    const auto r = scenario::tune_restricted_slow_start(opt);
-    std::printf("TCP-in-loop (per-ACK)     : %s\n",
-                r ? "unexpected oscillation?!" : "no Kc — loop unconditionally stable (expected)");
-    ok = ok && !r;
-  }
-
-  // 2b. Simulation in the loop with the paper's kernel-timer controller
-  //     (HZ=100 sample-and-hold): the hold adds the delay; Z-N finds the
-  //     boundary. Expect Tc ~ 2 sample periods (sampled bang-bang cycle).
-  control::TuningResult sim_tuned{};
-  {
-    scenario::TuneOptions opt;
-    opt.duration = 15_s;
-    const auto r = scenario::tune_restricted_slow_start(opt);
-    if (r) {
-      sim_tuned = *r;
-      const auto g = r->paper_rule();
-      std::printf("TCP-in-loop (10 ms jiffy) : Kc %6.3f  Tc %6.3f s  ->  Kp %5.3f  "
-                  "Ti %6.3f s  Td %6.3f s\n",
-                  r->kc, r->tc, g.kp, g.ti, g.td);
-    } else {
-      std::printf("TCP-in-loop (10 ms jiffy) : NO RESULT\n");
-      ok = false;
-    }
-  }
-
-  // 3. Relay cross-check on the analytic plant.
-  {
-    control::RelayTuner::Options opt;
-    opt.relay_amplitude = 1.0;
-    const control::RelayTuner tuner{opt};
-    const auto r = tuner.tune([](const std::function<double(double)>& relay) {
-      control::IntegratorPlant plant{1.0, 0.25};
-      std::vector<control::ResponseSample> resp;
-      double y = 0.0;
-      for (double t = 0.0; t < 40.0; t += 0.002) {
-        y = plant.step(relay(1.0 - y), 0.002);
-        resp.push_back({t + 0.002, y});
-      }
-      return resp;
-    });
-    if (r) {
-      std::printf("relay check    : Kc %6.2f  Tc %5.2f s (same plant; methods agree to ~2x)\n",
-                  r->kc, r->tc);
-    } else {
-      std::printf("relay check    : NO RESULT\n");
-      ok = false;
-    }
-  }
-
-  // 4. Deploy the sim-tuned gains under the same kernel-timer controller
-  //    and validate on the paper path.
-  if (sim_tuned.tc > 0.0) {
-    core::RestrictedSlowStart::Options rss_opt;
-    rss_opt.gains = sim_tuned.paper_rule();
-    rss_opt.sample_period = 10_ms;
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    scenario::WanPath wan{cfg, scenario::make_rss_factory(rss_opt)};
-    wan.run_bulk_transfer(0_s, 25_s);
-    const double goodput = wan.goodput_mbps(0_s, 25_s);
-    const auto stalls = wan.sender().mib().SendStall;
-    std::printf("deploy check   : sim-tuned gains -> %.1f Mb/s, %llu stalls\n", goodput,
-                static_cast<unsigned long long>(stalls));
-    ok = ok && goodput > 70.0 && stalls == 0;
-  }
-
-  std::printf("\ntuning pipeline: %s\n", ok ? "REPRODUCED" : "NOT reproduced");
-  return ok ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("ext_tuning"); }

@@ -1,67 +1,10 @@
-// EXT-VAR — extended multi-variant comparison on the paper path: the two
-// historical baselines (Tahoe, Reno/"standard"), the era's delay-based
-// alternative (Vegas), the IETF's burst remedy (Limited Slow-Start,
-// RFC 3742), and the paper's Restricted Slow-Start. Context the paper's
-// two-variant Figure 1 / §4 comparison does not show: where RSS sits in
-// the design space (Vegas also avoids stalls — by backing off on *path*
-// RTT inflation — but leaves more bandwidth unused).
+// EXT-VAR — extended multi-variant comparison on the paper path.
+//
+// The experiment itself lives in src/artifacts/experiments/ext_variants.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <vector>
+#include "artifacts/runner.hpp"
 
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  const auto names = scenario::variant_names();
-  const sim::Time horizon = 25_s;
-
-  struct Row {
-    double goodput;
-    unsigned long long stalls, fast_retrans, timeouts;
-    double max_cwnd_pkts;
-    double srtt_ms;
-  };
-  std::vector<Row> rows(names.size());
-
-  scenario::parallel_sweep(names.size(), [&](std::size_t i) {
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    scenario::WanPath wan{cfg, scenario::factory_by_name(names[i])};
-    wan.run_bulk_transfer(sim::Time::zero(), horizon);
-    const auto& mib = wan.sender().mib();
-    rows[i] = {wan.goodput_mbps(sim::Time::zero(), horizon),
-               static_cast<unsigned long long>(mib.SendStall),
-               static_cast<unsigned long long>(mib.FastRetran),
-               static_cast<unsigned long long>(mib.Timeouts),
-               mib.MaxCwnd / 1460.0,
-               static_cast<double>(mib.SmoothedRTT.milliseconds_count())};
-  });
-
-  std::printf("EXT-VAR: seven-variant comparison, ANL<->LBNL path, 25 s bulk transfer\n\n");
-  std::printf("%-24s %12s %8s %8s %9s %10s %9s\n", "variant", "goodput Mb/s", "stalls",
-              "fastrtx", "timeouts", "max cwnd", "srtt ms");
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    const auto& r = rows[i];
-    std::printf("%-24s %12.1f %8llu %8llu %9llu %10.0f %9.0f\n", names[i].c_str(),
-                r.goodput, r.stalls, r.fast_retrans, r.timeouts, r.max_cwnd_pkts, r.srtt_ms);
-  }
-
-  // Shape: RSS wins outright; Vegas stall-free but below RSS; standard
-  // beats Tahoe.
-  const auto idx = [&](const char* n) {
-    for (std::size_t i = 0; i < names.size(); ++i)
-      if (names[i] == n) return i;
-    return std::size_t{0};
-  };
-  const bool ok = rows[idx("restricted-slow-start")].goodput > rows[idx("vegas")].goodput &&
-                  rows[idx("restricted-slow-start")].stalls == 0 &&
-                  rows[idx("reno")].goodput >= rows[idx("tahoe")].goodput;
-  std::printf("\nshape: RSS tops the table stall-free; Vegas conservative; Reno >= Tahoe: %s\n",
-              ok ? "yes" : "NO");
-  return ok ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("ext_variants"); }

@@ -1,66 +1,10 @@
-// FIG-1 — Figure 1 of the paper: cumulative send-stall signals vs time
-// (0..25 s), standard Linux TCP vs the proposed (Restricted Slow-Start)
-// TCP, on the ANL<->LBNL path.
+// FIG-1 — Figure 1 of the paper: cumulative send-stall signals vs time, standard Linux TCP vs Restricted Slow-Start on the ANL<->LBNL path.
 //
-// Paper's shape: standard TCP accumulates a handful of send-stalls over
-// the run (y-axis 0..4 in the figure); the modified TCP stays at zero.
-//
-// Output: the time series the figure plots, then a summary verdict.
+// The experiment itself lives in src/artifacts/experiments/fig1_send_stalls.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
-#include <iostream>
+#include "artifacts/runner.hpp"
 
-#include "metrics/csv.hpp"
-#include "scenario/cc_factories.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-namespace {
-
-struct VariantRun {
-  std::string label;
-  std::unique_ptr<scenario::WanPath> wan;
-};
-
-}  // namespace
-
-int main() {
-  const sim::Time horizon = 25_s;
-  const sim::Time sample = 500_ms;
-
-  std::vector<VariantRun> runs;
-  for (auto& variant : scenario::standard_variants()) {
-    if (variant.label == "limited-slow-start") continue;  // figure has 2 series
-    scenario::WanPath::Config cfg;
-    cfg.web100_poll_period = sample;
-    cfg.sender.trace_stalls = true;
-    auto wan = std::make_unique<scenario::WanPath>(cfg, variant.factory);
-    wan->run_bulk_transfer(sim::Time::zero(), horizon);
-    runs.push_back({variant.label, std::move(wan)});
-  }
-
-  std::printf("FIG-1: cumulative send-stall signals vs time (paper Figure 1)\n");
-  std::printf("path: 100 Mbit/s NIC, IFQ 100 pkts, RTT 60 ms; single bulk flow\n\n");
-
-  metrics::CsvWriter csv{std::cout};
-  csv.header({"t_s", "standard_tcp_cum_stalls", "restricted_ss_cum_stalls"});
-  const auto& std_series = runs[0].wan->agent()->series("SendStall");
-  const auto& rss_series = runs[1].wan->agent()->series("SendStall");
-  for (sim::Time t = sim::Time::zero(); t <= horizon; t += sample) {
-    csv.field(t.to_seconds())
-        .field(std_series.value_at(t))
-        .field(rss_series.value_at(t))
-        .endrow();
-  }
-
-  const auto std_stalls = runs[0].wan->sender().mib().SendStall;
-  const auto rss_stalls = runs[1].wan->sender().mib().SendStall;
-  std::printf("\nsummary: standard TCP %llu send-stalls, restricted slow-start %llu\n",
-              static_cast<unsigned long long>(std_stalls),
-              static_cast<unsigned long long>(rss_stalls));
-  std::printf("paper shape: standard accumulates stalls over the run; modified ~0  ->  %s\n",
-              (std_stalls > 0 && rss_stalls == 0) ? "REPRODUCED" : "NOT reproduced");
-  return (std_stalls > 0 && rss_stalls == 0) ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("fig1_send_stalls"); }

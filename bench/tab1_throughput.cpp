@@ -1,59 +1,10 @@
-// TAB-1 — the paper's §4 headline result: "our scheme is able to achieve
-// 40% improvement in throughput compared to the standard TCP" on a
-// 100 Mbit/s, 60 ms-RTT path.
+// TAB-1 — the paper's §4 headline result: bulk-transfer throughput by congestion-control variant.
 //
-// We run the same bulk transfer under standard TCP, Limited Slow-Start
-// (RFC 3742, the era's alternative remedy) and Restricted Slow-Start, and
-// report goodput plus the improvement over standard.
+// The experiment itself lives in src/artifacts/experiments/tab1_throughput.cpp and
+// is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the paper's
+// shape reproduced.
 
-#include <cstdio>
+#include "artifacts/runner.hpp"
 
-#include "scenario/cc_factories.hpp"
-#include "scenario/sweep.hpp"
-#include "scenario/wan_path.hpp"
-
-using namespace rss;
-using namespace rss::sim::literals;
-
-int main() {
-  const sim::Time horizon = 25_s;
-
-  struct Row {
-    std::string label;
-    double goodput_mbps{0};
-    unsigned long long stalls{0};
-    unsigned long long timeouts{0};
-    double max_cwnd_pkts{0};
-  };
-
-  auto variants = scenario::standard_variants();
-  std::vector<Row> rows(variants.size());
-  scenario::parallel_sweep(variants.size(), [&](std::size_t i) {
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    scenario::WanPath wan{cfg, variants[i].factory};
-    wan.run_bulk_transfer(sim::Time::zero(), horizon);
-    rows[i] = {variants[i].label, wan.goodput_mbps(sim::Time::zero(), horizon),
-               static_cast<unsigned long long>(wan.sender().mib().SendStall),
-               static_cast<unsigned long long>(wan.sender().mib().Timeouts),
-               wan.sender().mib().MaxCwnd / 1460.0};
-  });
-
-  std::printf("TAB-1: bulk-transfer throughput, ANL<->LBNL path, %.0f s (paper §4)\n\n",
-              horizon.to_seconds());
-  std::printf("%-24s %14s %14s %8s %9s %12s\n", "variant", "goodput Mb/s",
-              "vs standard", "stalls", "timeouts", "max cwnd pkt");
-
-  const double standard = rows[0].goodput_mbps;
-  for (const auto& r : rows) {
-    std::printf("%-24s %14.1f %+13.1f%% %8llu %9llu %12.0f\n", r.label.c_str(),
-                r.goodput_mbps, 100.0 * (r.goodput_mbps - standard) / standard, r.stalls,
-                r.timeouts, r.max_cwnd_pkts);
-  }
-
-  const double rss = rows[2].goodput_mbps;
-  const double improvement = 100.0 * (rss - standard) / standard;
-  std::printf("\npaper claim: +40%% for restricted slow-start; measured %+.1f%%  ->  %s\n",
-              improvement, improvement > 20.0 ? "REPRODUCED (shape)" : "NOT reproduced");
-  return improvement > 20.0 ? 0 : 1;
-}
+int main() { return rss::artifacts::run_experiment_main("tab1_throughput"); }

@@ -1,0 +1,31 @@
+#include "artifacts/experiment.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace rss::artifacts {
+
+const ColumnTolerance& Tolerances::for_column(std::string_view name) const {
+  const auto it = per_column.find(name);
+  return it != per_column.end() ? it->second : fallback;
+}
+
+std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace rss::artifacts

@@ -1,0 +1,21 @@
+#include "artifacts/experiments.hpp"
+
+namespace rss::artifacts {
+
+void register_builtin_experiments(ExperimentRegistry& registry) {
+  if (registry.find("fig1_send_stalls")) return;  // already registered
+  registry.add(make_fig1_send_stalls_experiment());
+  registry.add(make_tab1_throughput_experiment());
+  registry.add(make_abl_aqm_experiment());
+  registry.add(make_abl_ifq_size_experiment());
+  registry.add(make_abl_pid_gains_experiment());
+  registry.add(make_abl_rtt_experiment());
+  registry.add(make_abl_sampling_experiment());
+  registry.add(make_abl_setpoint_experiment());
+  registry.add(make_ext_fairness_experiment());
+  registry.add(make_ext_sack_experiment());
+  registry.add(make_ext_tuning_experiment());
+  registry.add(make_ext_variants_experiment());
+}
+
+}  // namespace rss::artifacts

@@ -1,0 +1,79 @@
+#include "artifacts/golden.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace rss::artifacts {
+
+namespace {
+
+void add_error(DiffResult& out, std::string message) {
+  ++out.total_mismatches;
+  if (out.errors.size() < kMaxReportedErrors) {
+    out.errors.push_back(std::move(message));
+  } else if (out.errors.size() == kMaxReportedErrors) {
+    out.errors.push_back("... further mismatches suppressed");
+  }
+}
+
+bool numbers_match(double golden, double fresh, const ColumnTolerance& tol) {
+  if (std::isnan(golden) && std::isnan(fresh)) return true;
+  if (std::isinf(golden) || std::isinf(fresh)) return golden == fresh;
+  return std::abs(fresh - golden) <= std::max(tol.abs, tol.rel * std::abs(golden));
+}
+
+}  // namespace
+
+DiffResult diff_tables(const metrics::Table& golden, const metrics::Table& fresh,
+                       const Tolerances& tol) {
+  DiffResult out;
+
+  // Column schema must match exactly — a renamed/reordered/missing column is
+  // a format change, not numeric drift, and needs a deliberate re-golden.
+  if (golden.columns() != fresh.columns()) {
+    for (const auto& c : golden.columns()) {
+      if (!fresh.column_index(c)) add_error(out, "missing column: " + c);
+    }
+    for (const auto& c : fresh.columns()) {
+      if (!golden.column_index(c)) add_error(out, "unexpected column: " + c);
+    }
+    if (out.total_mismatches == 0) add_error(out, "columns reordered");
+    return out;
+  }
+
+  if (golden.row_count() != fresh.row_count()) {
+    add_error(out, strf("row count mismatch: golden %zu, fresh %zu", golden.row_count(),
+                        fresh.row_count()));
+    return out;
+  }
+
+  for (std::size_t r = 0; r < golden.row_count(); ++r) {
+    for (std::size_t c = 0; c < golden.column_count(); ++c) {
+      const auto& g = golden.at(r, c);
+      const auto& f = fresh.at(r, c);
+      const auto& col = golden.columns()[c];
+      if (g.numeric && f.numeric) {
+        const auto& ct = tol.for_column(col);
+        if (!numbers_match(g.number, f.number, ct)) {
+          add_error(out, strf("row %zu col %s: golden %s, fresh %s (tol abs=%g rel=%g)",
+                              r, col.c_str(), g.text.c_str(), f.text.c_str(), ct.abs,
+                              ct.rel));
+        }
+      } else if (g.text != f.text) {
+        add_error(out, strf("row %zu col %s: golden \"%s\", fresh \"%s\"", r, col.c_str(),
+                            g.text.c_str(), f.text.c_str()));
+      }
+    }
+  }
+  return out;
+}
+
+void write_golden(const std::string& path, const metrics::Table& table) {
+  std::ofstream f{path, std::ios::binary | std::ios::trunc};
+  if (!f) throw std::runtime_error{"write_golden: cannot open " + path};
+  table.write_csv(f);
+  f.flush();
+  if (!f) throw std::runtime_error{"write_golden: write failed for " + path};
+}
+
+}  // namespace rss::artifacts

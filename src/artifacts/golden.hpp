@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "artifacts/experiment.hpp"
+#include "metrics/table.hpp"
+
+namespace rss::artifacts {
+
+/// Outcome of diffing a freshly regenerated table against its golden.
+struct DiffResult {
+  std::vector<std::string> errors;  ///< human-readable, capped (see kMaxReportedErrors)
+  std::size_t total_mismatches{0};  ///< uncapped count, for the summary line
+
+  [[nodiscard]] bool ok() const { return total_mismatches == 0; }
+};
+
+/// How many individual mismatch lines diff_tables reports before switching
+/// to a single "... and N more" summary.
+inline constexpr std::size_t kMaxReportedErrors = 16;
+
+/// Structural checks (column names/order, row count) fail fast; cell checks
+/// compare numerically under `tol` when both sides are numeric (NaN equals
+/// NaN — a deterministic artifact may legitimately pin one), else as exact
+/// text.
+[[nodiscard]] DiffResult diff_tables(const metrics::Table& golden,
+                                     const metrics::Table& fresh, const Tolerances& tol);
+
+/// Write `table` to `path` (parent directory must exist); throws
+/// std::runtime_error on I/O failure.
+void write_golden(const std::string& path, const metrics::Table& table);
+
+}  // namespace rss::artifacts

@@ -1,0 +1,37 @@
+#include "artifacts/registry.hpp"
+
+#include <stdexcept>
+
+namespace rss::artifacts {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Experiment experiment) {
+  if (experiment.name.empty()) {
+    throw std::invalid_argument{"ExperimentRegistry::add: empty experiment name"};
+  }
+  if (find(experiment.name)) {
+    throw std::invalid_argument{"ExperimentRegistry::add: duplicate experiment \"" +
+                                experiment.name + "\""};
+  }
+  experiments_.push_back(std::move(experiment));
+}
+
+const Experiment* ExperimentRegistry::find(std::string_view name) const {
+  for (const auto& e : experiments_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(e.name);
+  return out;
+}
+
+}  // namespace rss::artifacts

@@ -1,0 +1,14 @@
+// rss_artifacts — regenerate the paper's artifacts (Figure 1, Table 1, the
+// ablations and extensions) as canonical CSV tables, and diff them against
+// the checked-in goldens in artifacts/goldens/. CI runs `--check` on every
+// push as the determinism gate.
+
+#include "artifacts/runner.hpp"
+
+#ifndef RSS_DEFAULT_GOLDENS_DIR
+#define RSS_DEFAULT_GOLDENS_DIR "artifacts/goldens"
+#endif
+
+int main(int argc, char** argv) {
+  return rss::artifacts::artifacts_main(argc, argv, RSS_DEFAULT_GOLDENS_DIR);
+}

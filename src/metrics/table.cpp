@@ -1,0 +1,175 @@
+#include "metrics/table.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/csv.hpp"
+
+namespace rss::metrics {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+bool parse_number(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end == begin + s.size();
+}
+
+}  // namespace
+
+Cell::Cell(double v) : text{format_double(v)}, number{v}, numeric{true} {}
+
+Cell::Cell(long long v)
+    : text{std::to_string(v)}, number{static_cast<double>(v)}, numeric{true} {}
+
+Cell::Cell(unsigned long long v)
+    : text{std::to_string(v)}, number{static_cast<double>(v)}, numeric{true} {}
+
+Cell Cell::from_csv_field(std::string field) {
+  Cell c{std::move(field)};
+  c.numeric = parse_number(c.text, c.number);
+  return c;
+}
+
+Table::Table(std::vector<std::string> columns) : columns_{std::move(columns)} {}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument{"Table::add_row: got " + std::to_string(cells.size()) +
+                                " cells for " + std::to_string(columns_.size()) +
+                                " columns"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+const Cell& Table::at(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+std::optional<std::size_t> Table::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Table::write_csv(std::ostream& os) const {
+  CsvWriter csv{os};
+  csv.header(columns_);
+  for (const auto& row : rows_) {
+    for (const auto& cell : row) csv.field(std::string_view{cell.text});
+    csv.endrow();
+  }
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  write_csv(os);
+  return os.str();
+}
+
+namespace {
+
+/// Split CSV text into rows of raw fields, honouring RFC-4180 quoting
+/// ("" escapes a quote inside a quoted field; quoted fields may contain
+/// separators and newlines).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // distinguishes a trailing empty line from a 1-field row
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        // A separator implies another field follows on this row.
+        field_started = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw std::runtime_error{"Table::read_csv: unterminated quoted field"};
+  if (field_started || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace
+
+Table Table::read_csv(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto raw = parse_csv(buf.str());
+  if (raw.empty()) throw std::runtime_error{"Table::read_csv: empty input (no header)"};
+
+  Table t{raw.front()};
+  for (std::size_t r = 1; r < raw.size(); ++r) {
+    if (raw[r].size() != t.column_count()) {
+      throw std::runtime_error{"Table::read_csv: row " + std::to_string(r) + " has " +
+                               std::to_string(raw[r].size()) + " fields, header has " +
+                               std::to_string(t.column_count())};
+    }
+    std::vector<Cell> cells;
+    cells.reserve(raw[r].size());
+    for (const auto& f : raw[r]) cells.push_back(Cell::from_csv_field(f));
+    t.rows_.push_back(std::move(cells));
+  }
+  return t;
+}
+
+Table Table::read_csv_file(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  if (!f) throw std::runtime_error{"Table::read_csv_file: cannot open " + path};
+  return read_csv(f);
+}
+
+}  // namespace rss::metrics

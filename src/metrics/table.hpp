@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rss::metrics {
+
+/// One table cell: canonical text plus, for numeric cells, the parsed
+/// value. Numeric cells built from doubles format with %.10g — goldens stay
+/// human-readable, and the quantization error (~1e-10 relative) is far
+/// below any tolerance the artifact differ uses.
+struct Cell {
+  Cell(std::string s) : text{std::move(s)} {}
+  Cell(std::string_view s) : text{s} {}
+  Cell(const char* s) : text{s} {}
+  Cell(double v);
+  Cell(long long v);
+  Cell(unsigned long long v);
+  // One overload per distinct standard integer type (std::size_t and the
+  // other aliases resolve to one of these on every platform; naming size_t
+  // directly would redeclare a constructor on LLP64/ILP32).
+  Cell(int v) : Cell{static_cast<long long>(v)} {}
+  Cell(long v) : Cell{static_cast<long long>(v)} {}
+  Cell(unsigned v) : Cell{static_cast<unsigned long long>(v)} {}
+  Cell(unsigned long v) : Cell{static_cast<unsigned long long>(v)} {}
+
+  /// Re-classify a parsed CSV field: numeric iff the whole field parses as
+  /// a finite-or-nan double.
+  static Cell from_csv_field(std::string field);
+
+  std::string text;
+  double number{0.0};
+  bool numeric{false};
+};
+
+/// In-memory rectangular table with named columns — the canonical artifact
+/// every experiment emits. Round-trips through CSV (RFC-4180 quoting via
+/// CsvWriter on the way out, a matching parser on the way in) so checked-in
+/// goldens can be re-read and diffed cell by cell.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> columns);
+
+  /// Append one row; throws std::invalid_argument on arity mismatch.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+  [[nodiscard]] std::size_t column_count() const { return columns_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+  [[nodiscard]] std::optional<std::size_t> column_index(std::string_view name) const;
+
+  void write_csv(std::ostream& os) const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Parse a header + rows; throws std::runtime_error on malformed input
+  /// (unterminated quote, ragged row).
+  static Table read_csv(std::istream& is);
+  static Table read_csv_file(const std::string& path);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace rss::metrics

@@ -1,6 +1,7 @@
 #include "metrics/timeseries.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace rss::metrics {
@@ -69,6 +70,18 @@ double TimeSeries::time_weighted_mean(sim::Time t0, sim::Time t1, double initial
   }
   if (prev < t1) acc += current * (t1 - prev).to_seconds();
   return acc / (t1 - t0).to_seconds();
+}
+
+double TimeSeries::stddev_from(sim::Time t0, sim::Time t1) const {
+  const double mean = time_weighted_mean(t0, t1);
+  double ss = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.t < t0 || s.t > t1) continue;
+    ss += (s.value - mean) * (s.value - mean);
+    ++n;
+  }
+  return n ? std::sqrt(ss / static_cast<double>(n)) : 0.0;
 }
 
 }  // namespace rss::metrics

@@ -52,6 +52,12 @@ class TimeSeries {
   [[nodiscard]] double time_weighted_mean(sim::Time t0, sim::Time t1,
                                           double initial = 0.0) const;
 
+  /// Standard deviation of the observations at or after `t0`, measured
+  /// around time_weighted_mean(t0, t1) — the steady-state dispersion
+  /// ("control quality") metric the gain/sampling ablations report.
+  /// 0 when no samples fall in the window.
+  [[nodiscard]] double stddev_from(sim::Time t0, sim::Time t1) const;
+
   void clear() { samples_.clear(); }
 
  private:

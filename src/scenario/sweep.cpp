@@ -18,18 +18,26 @@ void parallel_sweep(std::size_t count, const std::function<void(std::size_t)>& f
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
     for (;;) {
+      // Once any worker has thrown, surviving workers must not drain the
+      // remaining points: a sweep that is going to rethrow should stop
+      // promptly instead of burning cores on results nobody will see.
+      if (cancelled.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard lock{error_mutex};
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
         return;
       }
     }

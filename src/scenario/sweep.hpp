@@ -16,7 +16,9 @@ namespace rss::scenario {
 ///
 /// Exceptions thrown by `fn` propagate: the first one (by worker
 /// observation order) is rethrown on the calling thread after all workers
-/// join.
+/// join. An error also cancels the sweep — workers finish their in-flight
+/// point, then stop claiming new ones, so the call returns promptly
+/// instead of draining the remaining points.
 void parallel_sweep(std::size_t count, const std::function<void(std::size_t)>& fn,
                     std::size_t max_threads = 0);
 

@@ -6,15 +6,22 @@
 namespace rss::sim {
 
 void Simulation::every(Time period, std::function<bool(Time)> fn) {
-  // Self-rescheduling tick. The shared_ptr keeps the callable alive across
-  // reschedules; the lambda captures `this`, which outlives the scheduler's
+  // Self-rescheduling tick: each queued callback owns a ref to the user
+  // callable and, when it fires, enqueues a copy of itself. Ownership lives
+  // only in the scheduler queue — no callable captures a shared_ptr to
+  // itself — so when the chain stops (fn returns false or the queue is
+  // destroyed) the last copy releases everything. `this` outlives the
   // queue by construction (the queue is a member of *this).
-  auto tick = std::make_shared<std::function<void()>>();
-  auto fn_shared = std::make_shared<std::function<bool(Time)>>(std::move(fn));
-  *tick = [this, period, fn_shared, tick]() {
-    if ((*fn_shared)(scheduler_.now())) scheduler_.schedule_in(period, *tick);
+  struct Tick {
+    Simulation* sim;
+    Time period;
+    std::shared_ptr<std::function<bool(Time)>> fn;
+    void operator()() const {
+      if ((*fn)(sim->scheduler_.now())) sim->scheduler_.schedule_in(period, Tick{*this});
+    }
   };
-  scheduler_.schedule_in(period, *tick);
+  scheduler_.schedule_in(
+      period, Tick{this, period, std::make_shared<std::function<bool(Time)>>(std::move(fn))});
 }
 
 }  // namespace rss::sim

@@ -1,0 +1,61 @@
+// ExperimentRegistry semantics and the builtin experiment catalogue: every
+// paper artifact the CI determinism gate depends on must be registered,
+// with tolerances and a runner wired up. Experiments are NOT run here —
+// that is rss_artifacts --check's job, not the unit suite's.
+
+#include <gtest/gtest.h>
+
+#include "artifacts/experiments.hpp"
+#include "artifacts/registry.hpp"
+
+namespace {
+
+using rss::artifacts::Experiment;
+using rss::artifacts::ExperimentRegistry;
+using rss::artifacts::register_builtin_experiments;
+
+TEST(ExperimentRegistry, AddFindNames) {
+  ExperimentRegistry reg;
+  Experiment e;
+  e.name = "demo";
+  e.title = "demo experiment";
+  e.run = [] { return rss::artifacts::ExperimentResult{}; };
+  reg.add(e);
+  ASSERT_NE(reg.find("demo"), nullptr);
+  EXPECT_EQ(reg.find("demo")->title, "demo experiment");
+  EXPECT_EQ(reg.find("nope"), nullptr);
+  EXPECT_EQ(reg.names(), std::vector<std::string>{"demo"});
+}
+
+TEST(ExperimentRegistry, RejectsDuplicateAndEmptyNames) {
+  ExperimentRegistry reg;
+  Experiment e;
+  e.name = "dup";
+  reg.add(e);
+  EXPECT_THROW(reg.add(e), std::invalid_argument);
+  Experiment unnamed;
+  EXPECT_THROW(reg.add(unnamed), std::invalid_argument);
+}
+
+TEST(BuiltinExperiments, CatalogueIsCompleteAndIdempotent) {
+  ExperimentRegistry reg;
+  register_builtin_experiments(reg);
+  const std::vector<std::string> expected{
+      "fig1_send_stalls", "tab1_throughput", "abl_aqm",      "abl_ifq_size",
+      "abl_pid_gains",    "abl_rtt",         "abl_sampling", "abl_setpoint",
+      "ext_fairness",     "ext_sack",        "ext_tuning",   "ext_variants",
+  };
+  EXPECT_EQ(reg.names(), expected);
+
+  register_builtin_experiments(reg);  // second call must be a no-op
+  EXPECT_EQ(reg.size(), expected.size());
+
+  for (const auto& name : expected) {
+    const auto* e = reg.find(name);
+    ASSERT_NE(e, nullptr) << name;
+    EXPECT_FALSE(e->title.empty()) << name;
+    EXPECT_TRUE(static_cast<bool>(e->run)) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Unit tests for the artifact golden differ: tolerance pass/fail semantics,
+// schema mismatches (missing/extra/reordered columns), row-count mismatch,
+// and the CSV round-trip the goldens rely on.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "artifacts/golden.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using rss::artifacts::ColumnTolerance;
+using rss::artifacts::diff_tables;
+using rss::artifacts::DiffResult;
+using rss::artifacts::Tolerances;
+using rss::metrics::Cell;
+using rss::metrics::Table;
+
+Table make_table(std::vector<std::string> cols, std::vector<std::vector<Cell>> rows) {
+  Table t{std::move(cols)};
+  for (auto& r : rows) t.add_row(std::move(r));
+  return t;
+}
+
+bool has_error_containing(const DiffResult& d, const std::string& needle) {
+  for (const auto& e : d.errors) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(GoldenDiff, IdenticalTablesPass) {
+  const auto t = make_table({"label", "x"}, {{"a", 1.0}, {"b", 2.5}});
+  const auto u = make_table({"label", "x"}, {{"a", 1.0}, {"b", 2.5}});
+  EXPECT_TRUE(diff_tables(t, u, Tolerances{}).ok());
+}
+
+TEST(GoldenDiff, ExactToleranceRejectsAnyNumericDrift) {
+  const auto g = make_table({"x"}, {{1.0}});
+  const auto f = make_table({"x"}, {{1.0 + 1e-12}});
+  EXPECT_FALSE(diff_tables(g, f, Tolerances{}).ok());  // fallback {0,0} = exact
+}
+
+TEST(GoldenDiff, AbsoluteTolerancePassAndFail) {
+  const auto g = make_table({"x"}, {{100.0}});
+  Tolerances tol;
+  tol.fallback = {0.5, 0.0};
+  EXPECT_TRUE(diff_tables(g, make_table({"x"}, {{100.4}}), tol).ok());
+  const auto d = diff_tables(g, make_table({"x"}, {{100.6}}), tol);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(has_error_containing(d, "col x"));
+}
+
+TEST(GoldenDiff, RelativeTolerancePassAndFail) {
+  const auto g = make_table({"x"}, {{200.0}});
+  Tolerances tol;
+  tol.fallback = {0.0, 0.01};  // 1% of 200 = 2
+  EXPECT_TRUE(diff_tables(g, make_table({"x"}, {{201.9}}), tol).ok());
+  EXPECT_FALSE(diff_tables(g, make_table({"x"}, {{202.1}}), tol).ok());
+}
+
+TEST(GoldenDiff, PerColumnOverrideBeatsFallback) {
+  const auto g = make_table({"loose", "tight"}, {{10.0, 10.0}});
+  Tolerances tol;
+  tol.fallback = {0.0, 0.0};
+  tol.per_column["loose"] = {1.0, 0.0};
+  const auto f = make_table({"loose", "tight"}, {{10.5, 10.5}});
+  const auto d = diff_tables(g, f, tol);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.total_mismatches, 1u);
+  EXPECT_TRUE(has_error_containing(d, "col tight"));
+}
+
+TEST(GoldenDiff, MissingAndUnexpectedColumnsReported) {
+  const auto g = make_table({"a", "b"}, {});
+  const auto f = make_table({"a", "c"}, {});
+  const auto d = diff_tables(g, f, Tolerances{});
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(has_error_containing(d, "missing column: b"));
+  EXPECT_TRUE(has_error_containing(d, "unexpected column: c"));
+}
+
+TEST(GoldenDiff, ReorderedColumnsFail) {
+  const auto g = make_table({"a", "b"}, {});
+  const auto f = make_table({"b", "a"}, {});
+  const auto d = diff_tables(g, f, Tolerances{});
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(has_error_containing(d, "reordered"));
+}
+
+TEST(GoldenDiff, RowCountMismatchFails) {
+  const auto g = make_table({"x"}, {{1.0}, {2.0}});
+  const auto f = make_table({"x"}, {{1.0}});
+  const auto d = diff_tables(g, f, Tolerances{});
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(has_error_containing(d, "row count mismatch"));
+}
+
+TEST(GoldenDiff, StringCellsCompareExactly) {
+  const auto g = make_table({"label"}, {{"restricted-slow-start"}});
+  const auto f = make_table({"label"}, {{"reno"}});
+  EXPECT_FALSE(diff_tables(g, f, Tolerances{}).ok());
+}
+
+TEST(GoldenDiff, NanEqualsNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto g = make_table({"x"}, {{nan}});
+  const auto f = make_table({"x"}, {{nan}});
+  EXPECT_TRUE(diff_tables(g, f, Tolerances{}).ok());
+  EXPECT_FALSE(diff_tables(g, make_table({"x"}, {{1.0}}), Tolerances{}).ok());
+}
+
+TEST(GoldenDiff, ErrorReportingIsCappedButCounted) {
+  Table g{{"x"}};
+  Table f{{"x"}};
+  for (int i = 0; i < 100; ++i) {
+    g.add_row({0.0});
+    f.add_row({1.0});
+  }
+  const auto d = diff_tables(g, f, Tolerances{});
+  EXPECT_EQ(d.total_mismatches, 100u);
+  EXPECT_LE(d.errors.size(), rss::artifacts::kMaxReportedErrors + 1);
+  EXPECT_TRUE(has_error_containing(d, "suppressed"));
+}
+
+TEST(TableCsv, RoundTripPreservesValuesAndTypes) {
+  const auto t = make_table({"label", "x", "n"},
+                            {{"plain", 1.25, 42}, {"with, comma", -3.5e-4, 0}});
+  std::stringstream ss{t.to_csv()};
+  const auto back = Table::read_csv(ss);
+  ASSERT_EQ(back.row_count(), 2u);
+  EXPECT_TRUE(diff_tables(t, back, Tolerances{}).ok());
+  EXPECT_FALSE(back.at(0, 0).numeric);
+  EXPECT_TRUE(back.at(0, 1).numeric);
+  EXPECT_DOUBLE_EQ(back.at(0, 1).number, 1.25);
+  EXPECT_EQ(back.at(1, 0).text, "with, comma");
+}
+
+TEST(TableCsv, QuotingHandlesQuotesAndNewlines) {
+  const auto t = make_table({"s"}, {{"say \"hi\"\nline2"}});
+  std::stringstream ss{t.to_csv()};
+  const auto back = Table::read_csv(ss);
+  ASSERT_EQ(back.row_count(), 1u);
+  EXPECT_EQ(back.at(0, 0).text, "say \"hi\"\nline2");
+}
+
+TEST(TableCsv, MalformedInputThrows) {
+  std::stringstream ragged{"a,b\n1\n"};
+  EXPECT_THROW(Table::read_csv(ragged), std::runtime_error);
+  std::stringstream unterminated{"a\n\"oops\n"};
+  EXPECT_THROW(Table::read_csv(unterminated), std::runtime_error);
+  std::stringstream empty{""};
+  EXPECT_THROW(Table::read_csv(empty), std::runtime_error);
+}
+
+TEST(TableCsv, AddRowArityChecked) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(Tolerances, ForColumnFallsBack) {
+  Tolerances tol;
+  tol.fallback = {1.0, 2.0};
+  tol.per_column["x"] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(tol.for_column("x").abs, 3.0);
+  EXPECT_DOUBLE_EQ(tol.for_column("y").abs, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// parallel_sweep error semantics: the first error is rethrown, and an error
+// cancels the sweep so surviving workers stop claiming points instead of
+// draining the whole range.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "scenario/sweep.hpp"
+
+namespace {
+
+using rss::scenario::parallel_map;
+using rss::scenario::parallel_sweep;
+
+TEST(ParallelSweep, RunsEveryIndexExactlyOnceWithoutErrors) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_sweep(kCount, [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelSweep, SequentialErrorStopsAtThrowingIndex) {
+  std::set<std::size_t> executed;
+  EXPECT_THROW(
+      parallel_sweep(
+          100,
+          [&](std::size_t i) {
+            executed.insert(i);
+            if (i == 3) throw std::runtime_error{"boom at 3"};
+          },
+          1),
+      std::runtime_error);
+  // Strict ordering in the single-worker path: nothing after the throwing
+  // point may run.
+  EXPECT_EQ(executed, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ParallelSweep, ErrorMessageSurvivesRethrow) {
+  try {
+    parallel_sweep(
+        8, [](std::size_t i) { if (i == 0) throw std::runtime_error{"first error"}; }, 2);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first error");
+  }
+}
+
+TEST(ParallelSweep, ErrorCancelsSurvivingWorkersPromptly) {
+  // Without cancellation the surviving workers drain all remaining points
+  // (~kCount * kPointCost of wasted work); with it they stop as soon as the
+  // flag is visible. The bound below fails by a wide margin on the
+  // drain-everything behaviour but is generous to scheduling jitter.
+  constexpr std::size_t kCount = 100000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallel_sweep(
+          kCount,
+          [&](std::size_t i) {
+            if (i == 0) throw std::runtime_error{"cancel the rest"};
+            executed.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds{50});
+          },
+          4),
+      std::runtime_error);
+  EXPECT_LT(executed.load(), kCount / 2);
+}
+
+TEST(ParallelSweep, FirstObservedErrorWinsWhenAllThrow) {
+  // Every point throws its own index; whichever the pool observed first is
+  // rethrown, and it must be one of the indices that actually ran.
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> ran(kCount);
+  try {
+    parallel_sweep(
+        kCount,
+        [&](std::size_t i) {
+          ran[i].fetch_add(1);
+          throw std::runtime_error{std::to_string(i)};
+        },
+        4);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    const std::size_t winner = std::stoul(e.what());
+    ASSERT_LT(winner, kCount);
+    EXPECT_EQ(ran[winner].load(), 1);
+  }
+}
+
+TEST(ParallelMap, ResultsArePositionallyStable) {
+  const std::vector<int> in{5, 3, 9, 1, 7};
+  const auto out = parallel_map(in, [](int v) { return v * 10; }, 3);
+  EXPECT_EQ(out, (std::vector<int>{50, 30, 90, 10, 70}));
+}
+
+}  // namespace
