@@ -1,11 +1,28 @@
-// MICRO — google-benchmark microbenchmarks of the simulation substrate:
-// event-scheduler throughput, queue operations, PID controller updates and
-// a full end-to-end simulation (events per wall-second). These bound how
-// large a parameter sweep the harness can afford.
+// MICRO — microbenchmarks of the simulation substrate: event-scheduler
+// throughput on both queue backends, batched event trains, queue
+// operations, PID controller updates and a full end-to-end simulation
+// (events per wall-second). These bound how large a parameter sweep the
+// harness can afford, and they are where backend decisions (see README
+// "Choosing a QueueBackend") get their numbers.
+//
+// Two entry points:
+//   (default)   google-benchmark CLI — full microbenchmark suite.
+//   --smoke     CI mode: run the packet-dense WAN scenario and a scheduler
+//               churn loop on both backends for a few seconds and write
+//               BENCH_scheduler.json (events/sec per backend), so the perf
+//               trajectory of the event core is recorded per commit.
+//               Options: --out <path> (default BENCH_scheduler.json),
+//               --seconds <n> (approx budget per backend, default 2).
 
 #include <benchmark/benchmark.h>
 
-#include <memory>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "control/pid.hpp"
 #include "net/queue.hpp"
@@ -18,10 +35,15 @@ using namespace rss::sim::literals;
 
 namespace {
 
+sim::QueueBackend backend_arg(std::int64_t v) {
+  return v == 0 ? sim::QueueBackend::kBinaryHeap : sim::QueueBackend::kCalendarQueue;
+}
+
 void BM_SchedulerScheduleRun(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto backend = backend_arg(state.range(1));
   for (auto _ : state) {
-    sim::Scheduler s;
+    sim::Scheduler s{backend};
     for (std::size_t i = 0; i < n; ++i) {
       s.schedule_at(sim::Time::nanoseconds(static_cast<std::int64_t>(i % 1000)), [] {});
     }
@@ -31,12 +53,17 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SchedulerScheduleRun)
+    ->ArgsProduct({{1000, 100000}, {0, 1}})
+    ->ArgNames({"n", "calendar"});
 
 void BM_SchedulerCancelHeavy(benchmark::State& state) {
-  // The TCP RTO pattern: schedule, cancel, reschedule.
+  // The TCP RTO pattern: schedule, cancel, reschedule. With the slot arena
+  // this is also the allocation-free path the ISSUE targets — the arena
+  // must stay at one slot for the whole loop.
+  const auto backend = backend_arg(state.range(0));
   for (auto _ : state) {
-    sim::Scheduler s;
+    sim::Scheduler s{backend};
     sim::EventId pending{};
     for (int i = 0; i < 10000; ++i) {
       if (pending.valid()) s.cancel(pending);
@@ -47,7 +74,28 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 10000);
 }
-BENCHMARK(BM_SchedulerCancelHeavy);
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(0)->Arg(1)->ArgName("calendar");
+
+void BM_SchedulerTrain(benchmark::State& state) {
+  // Batched serialization bursts: one train of `n` firings versus the `n`
+  // chained one-shots it replaces (see BM_SchedulerScheduleRun for the
+  // unbatched cost of the same event count).
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto backend = backend_arg(state.range(1));
+  for (auto _ : state) {
+    sim::Scheduler s{backend};
+    std::uint64_t fired = 0;
+    s.schedule_train(sim::Time::nanoseconds(1), sim::Time::nanoseconds(120), n,
+                     [&fired] { ++fired; });
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerTrain)
+    ->ArgsProduct({{1000, 100000}, {0, 1}})
+    ->ArgNames({"n", "calendar"});
 
 void BM_DropTailQueueEnqueueDequeue(benchmark::State& state) {
   net::DropTailQueue q{1024};
@@ -85,20 +133,149 @@ void BM_PidUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_PidUpdate);
 
+scenario::WanPath::Config packet_dense_config(sim::QueueBackend backend) {
+  scenario::WanPath::Config cfg;
+  cfg.enable_web100 = false;
+  cfg.backend = backend;
+  return cfg;
+}
+
 void BM_FullWanSimulation(benchmark::State& state) {
   // End-to-end cost of one simulated second of the canonical path under
-  // Restricted Slow-Start (~8.5k data packets + ACKs + timers).
+  // Restricted Slow-Start (~8.5k data packets + ACKs + timers) — the
+  // packet-dense scenario backend decisions are made on.
+  const auto backend = backend_arg(state.range(0));
+  std::uint64_t events = 0;
   for (auto _ : state) {
-    scenario::WanPath::Config cfg;
-    cfg.enable_web100 = false;
-    scenario::WanPath wan{cfg, scenario::make_rss_factory()};
+    scenario::WanPath wan{packet_dense_config(backend), scenario::make_rss_factory()};
     wan.run_bulk_transfer(sim::Time::zero(), 1_s);
+    events += wan.simulation().scheduler().events_executed();
     benchmark::DoNotOptimize(wan.sender().bytes_acked());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FullWanSimulation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullWanSimulation)->Arg(0)->Arg(1)->ArgName("calendar")->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// --smoke: the CI leg. No google-benchmark machinery — plain wall-clock
+// loops whose results land in a small JSON file the workflow uploads.
+// ---------------------------------------------------------------------------
+
+struct SmokeResult {
+  std::uint64_t events{0};
+  double seconds{0.0};
+  [[nodiscard]] double events_per_sec() const { return seconds > 0 ? static_cast<double>(events) / seconds : 0.0; }
+};
+
+/// Repeat 1-simulated-second packet-dense WAN runs until the wall budget is
+/// spent. Events/sec here is the headline number: it is dominated by
+/// schedule/pop of packet serializations, deliveries, ACK timers — the
+/// exact mix production sweeps pay for.
+SmokeResult smoke_wan(sim::QueueBackend backend, double budget_seconds) {
+  SmokeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (r.seconds < budget_seconds) {
+    scenario::WanPath wan{packet_dense_config(backend), scenario::make_rss_factory()};
+    wan.run_bulk_transfer(sim::Time::zero(), 1_s);
+    r.events += wan.simulation().scheduler().events_executed();
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  return r;
+}
+
+/// Pure scheduler churn: the schedule/cancel/reschedule storm of the
+/// per-ACK RTO path, plus trains, with no protocol work diluting it.
+SmokeResult smoke_churn(sim::QueueBackend backend, double budget_seconds) {
+  SmokeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (r.seconds < budget_seconds) {
+    sim::Scheduler s{backend};
+    sim::EventId rto{};
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 20'000; ++i) {
+      if (rto.valid()) s.cancel(rto);
+      rto = s.schedule_at(sim::Time::nanoseconds(i * 7 + 1), [] {});
+      if (i % 64 == 0) {
+        s.schedule_train(sim::Time::nanoseconds(i * 7 + 2), sim::Time::nanoseconds(120), 32,
+                         [&fired] { ++fired; });
+      }
+    }
+    s.run();
+    r.events += s.events_executed();
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  return r;
+}
+
+void write_json_entry(std::ostream& os, std::string_view scenario, std::string_view backend,
+                      const SmokeResult& res, bool trailing_comma) {
+  os << "    {\"scenario\": \"" << scenario << "\", \"backend\": \"" << backend
+     << "\", \"events\": " << res.events << ", \"wall_seconds\": " << res.seconds
+     << ", \"events_per_sec\": " << static_cast<std::uint64_t>(res.events_per_sec()) << "}"
+     << (trailing_comma ? "," : "") << "\n";
+}
+
+int run_smoke(const std::vector<std::string>& args) {
+  std::string out_path = "BENCH_scheduler.json";
+  double budget = 2.0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) out_path = args[++i];
+    if (args[i] == "--seconds" && i + 1 < args.size()) budget = std::stod(args[++i]);
+  }
+
+  struct Row {
+    std::string_view scenario;
+    std::string_view backend;
+    SmokeResult result;
+  };
+  std::vector<Row> rows;
+  for (const auto backend : {sim::QueueBackend::kBinaryHeap, sim::QueueBackend::kCalendarQueue}) {
+    const std::string_view name =
+        backend == sim::QueueBackend::kBinaryHeap ? "binary_heap" : "calendar_queue";
+    rows.push_back({"wan_path_packet_dense", name, smoke_wan(backend, budget)});
+    rows.push_back({"scheduler_churn", name, smoke_churn(backend, budget)});
+  }
+
+  std::ofstream out{out_path};
+  if (!out) {
+    std::cerr << "bench_micro_substrate: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"benchmark\": \"scheduler_smoke\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    write_json_entry(out, rows[i].scenario, rows[i].backend, rows[i].result,
+                     i + 1 < rows.size());
+  }
+  out << "  ]\n}\n";
+
+  for (const auto& row : rows) {
+    std::cout << row.scenario << " / " << row.backend << ": "
+              << static_cast<std::uint64_t>(row.result.events_per_sec()) << " events/sec ("
+              << row.result.events << " events in " << row.result.seconds << "s)\n";
+  }
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--smoke") {
+      smoke = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (smoke) return run_smoke(args);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

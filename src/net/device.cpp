@@ -26,16 +26,37 @@ NetDevice::TxResult NetDevice::send(const Packet& p) {
 
 void NetDevice::try_start_tx() {
   if (busy_) return;
-  auto next = ifq_->dequeue();
-  if (!next) return;
+  // Back-to-back equal-size packets (line-rate bursts: MSS data segments
+  // one way, 40-byte ACKs the other) serialize one slot apart, so the whole
+  // run is armed as a single batched event train — one queue entry and one
+  // callback instead of one heap push per packet. Packets still leave the
+  // IFQ one at a time at their serialization start, so queue occupancy (the
+  // PID process variable and RED's input) is identical to the chained form.
+  const std::size_t run = ifq_->equal_size_run(kMaxTxTrain);
+  if (run == 0) return;
   busy_ = true;
-  const Packet p = *next;
-  sim_.in(rate_.transmission_time(p.size_bytes()), [this, p] { complete_tx(p); });
+  serializing_ = *ifq_->dequeue();
+  train_left_ = run;
+  const sim::Time slot = rate_.transmission_time(serializing_.size_bytes());
+  const auto fire = [this] { complete_tx(); };
+  static_assert(sizeof(fire) <= sim::InlineCallback::kCapacity,
+                "serialization callback must stay inline on the scheduler hot path");
+  sim_.train(sim_.now() + slot, slot, run, fire);
 }
 
-void NetDevice::complete_tx(const Packet& p) {
+void NetDevice::complete_tx() {
+  const Packet p = serializing_;
   ++stats_.tx_packets;
   stats_.tx_bytes += p.size_bytes();
+  --train_left_;
+  if (train_left_ > 0) {
+    // Train continues: the next equal-size packet starts serializing now.
+    // The head run was counted when the train was armed and nothing else
+    // dequeues, so this packet is guaranteed present and same-sized.
+    serializing_ = *ifq_->dequeue();
+    if (link_) link_->transmit_from(*this, p);
+    return;
+  }
   busy_ = false;
   if (link_) link_->transmit_from(*this, p);
   try_start_tx();

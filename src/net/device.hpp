@@ -80,8 +80,12 @@ class NetDevice {
   [[nodiscard]] std::size_t ifq_capacity() const { return ifq_->capacity_packets(); }
 
  private:
+  /// Longest serialization train armed in one go. Bounds how far ahead the
+  /// IFQ head run is inspected; runs longer than this simply chain trains.
+  static constexpr std::size_t kMaxTxTrain = 64;
+
   void try_start_tx();
-  void complete_tx(const Packet& p);
+  void complete_tx();
 
   sim::Simulation& sim_;
   DataRate rate_;
@@ -91,6 +95,12 @@ class NetDevice {
   ReceiveCallback rx_cb_;
   StallCallback stall_cb_;
   DeviceStats stats_;
+  /// The packet currently on the wire. Held here (not in the scheduled
+  /// closure) so the serialization callback captures only `this` and stays
+  /// within the scheduler's inline-callback budget.
+  Packet serializing_{};
+  /// Completions left in the current serialization train (0 when idle).
+  std::uint64_t train_left_{0};
   bool busy_{false};
 };
 

@@ -48,7 +48,25 @@ void PointToPointLink::transmit_from(const NetDevice& sender, const Packet& p) {
   if (max_jitter_ > sim::Time::zero()) {
     delay += max_jitter_ * jitter_rng_.next_double();
   }
-  sim_.in(delay, [peer, p] { peer->deliver_up(p); });
+  std::uint32_t slot;
+  if (free_in_flight_.empty()) {
+    slot = static_cast<std::uint32_t>(in_flight_.size());
+    in_flight_.push_back(p);
+  } else {
+    slot = free_in_flight_.back();
+    free_in_flight_.pop_back();
+    in_flight_[slot] = p;
+  }
+  const auto deliver = [this, peer, slot] {
+    // Copy out before releasing: deliver_up can cascade into another
+    // transmit on this link, which may claim the freed slot immediately.
+    const Packet arrived = in_flight_[slot];
+    free_in_flight_.push_back(slot);
+    peer->deliver_up(arrived);
+  };
+  static_assert(sizeof(deliver) <= sim::InlineCallback::kCapacity,
+                "delivery callback must stay inline on the scheduler hot path");
+  sim_.in(delay, deliver);
 }
 
 }  // namespace rss::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
@@ -53,6 +54,14 @@ class PointToPointLink {
   sim::Rng jitter_rng_{};
   std::uint64_t delivered_{0};
   std::uint64_t lost_{0};
+  /// Packets on the wire, indexed by the slot captured in the delivery
+  /// closure. Parking the payload here keeps the closure at three words —
+  /// inside the scheduler's inline-callback budget — and the free list
+  /// makes steady-state transmission allocation-free. A plain FIFO would
+  /// not do: jitter deliberately permits reordering, so deliveries can
+  /// complete out of order.
+  std::vector<Packet> in_flight_;
+  std::vector<std::uint32_t> free_in_flight_;
 };
 
 }  // namespace rss::net

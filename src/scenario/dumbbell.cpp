@@ -17,7 +17,11 @@ constexpr std::uint32_t receiver_id(std::size_t i) {
 }  // namespace
 
 Dumbbell::Dumbbell(Config config, const PerFlowCcFactory& cc_factory)
-    : cfg_{config}, sim_{config.seed} {
+    : cfg_{config},
+      sim_{config.seed,
+           config.backend.value_or(config.flows >= kCalendarQueueFlowThreshold
+                                       ? sim::QueueBackend::kCalendarQueue
+                                       : sim::QueueBackend::kBinaryHeap)} {
   if (cfg_.flows == 0) throw std::invalid_argument("Dumbbell: need at least one flow");
   if (!cc_factory) throw std::invalid_argument("Dumbbell: null congestion-control factory");
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/link.hpp"
@@ -26,9 +27,21 @@ namespace rss::scenario {
 /// are a one-liner.
 class Dumbbell {
  public:
+  /// Flow count at which backend auto-selection switches to the calendar
+  /// queue — the measured crossover on bench_micro_substrate's host (see
+  /// README "Choosing a QueueBackend").
+  static constexpr std::size_t kCalendarQueueFlowThreshold = 32;
+
   struct Config {
     std::size_t flows{2};
     std::uint64_t seed{1};
+    /// Event-queue backend — purely a speed knob, pop order is backend-
+    /// independent (parity-tested). Defaults to auto-selection from the
+    /// measured crossover: the calendar queue wins once enough flows keep
+    /// the pending set dense (bench_micro_substrate measures ~+12% at 32+
+    /// flows, -25% at 16), the binary heap wins below. Set explicitly to
+    /// pin a backend.
+    std::optional<sim::QueueBackend> backend{};
     net::DataRate access_rate{net::DataRate::gbps(1)};
     net::DataRate bottleneck_rate{net::DataRate::mbps(100)};
     sim::Time access_delay{sim::Time::milliseconds(1)};

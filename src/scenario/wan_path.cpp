@@ -12,7 +12,7 @@ constexpr std::uint32_t kReceiverNodeId = 2;
 }  // namespace
 
 WanPath::WanPath(Config config, const CcFactory& cc_factory)
-    : cfg_{config}, sim_{config.seed} {
+    : cfg_{config}, sim_{config.seed, config.backend} {
   if (!cc_factory) throw std::invalid_argument("WanPath: null congestion-control factory");
 
   sender_node_ = std::make_unique<net::Node>(sim_, kSenderNodeId, "sender");

@@ -31,6 +31,13 @@ class WanPath {
   struct Config {
     core::CanonicalPath path{};
     std::uint64_t seed{1};
+    /// Event-queue backend — purely a speed knob, pop order is backend-
+    /// independent (parity-tested). The single-flow canonical path keeps
+    /// only a window's worth of events pending, which bench_micro_substrate
+    /// measures as heap territory; the calendar queue overtakes once
+    /// thousands of events are in flight (see README "Choosing a
+    /// QueueBackend" for the measured crossover).
+    sim::QueueBackend backend{sim::QueueBackend::kBinaryHeap};
     std::uint32_t flow_id{1};
     std::size_t receiver_ifq_packets{1000};
     sim::Time web100_poll_period{sim::Time::milliseconds(100)};

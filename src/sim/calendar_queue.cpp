@@ -7,7 +7,7 @@ namespace rss::sim {
 
 namespace {
 
-bool item_before(const CalendarQueue::Item& a, const CalendarQueue::Item& b) {
+bool entry_before(const EventEntry& a, const EventEntry& b) {
   if (a.at != b.at) return a.at < b.at;
   return a.seq < b.seq;
 }
@@ -21,21 +21,21 @@ CalendarQueue::CalendarQueue(std::size_t initial_days, Time initial_day_width)
     throw std::invalid_argument("CalendarQueue: non-positive day width");
 }
 
-void CalendarQueue::push(Time at, std::uint64_t seq, std::function<void()> cb) {
-  if (at < last_popped_) throw std::invalid_argument("CalendarQueue: push into the past");
+void CalendarQueue::push(const EventEntry& entry) {
+  if (entry.at < last_popped_)
+    throw std::invalid_argument("CalendarQueue: push into the past");
   min_bucket_cache_.reset();
-  auto& bucket = buckets_[bucket_of(at)];
-  Item item{at, seq, std::move(cb)};
+  auto& bucket = buckets_[bucket_of(entry.at)];
   // Buckets stay sorted; insertion keeps the common append case O(1).
-  const auto pos = std::upper_bound(bucket.begin(), bucket.end(), item, item_before);
-  bucket.insert(pos, std::move(item));
+  const auto pos = std::upper_bound(bucket.begin(), bucket.end(), entry, entry_before);
+  bucket.insert(pos, entry);
   ++size_;
   maybe_resize();
 }
 
 std::size_t CalendarQueue::min_bucket() const {
   // Scan from the bucket of the last popped time forward one "year",
-  // accepting only items inside the current year window (classic calendar
+  // accepting only entries inside the current year window (classic calendar
   // scan); fall back to a global min when the year scan finds nothing
   // (sparse far-future events).
   const std::size_t days = buckets_.size();
@@ -47,7 +47,7 @@ std::size_t CalendarQueue::min_bucket() const {
     const std::uint64_t ticks = start_ticks + i;
     const auto& bucket = buckets_[static_cast<std::size_t>(ticks % days)];
     if (bucket.empty()) continue;
-    const Item& head = bucket.front();
+    const EventEntry& head = bucket.front();
     // Accept if the head belongs to this day of this year.
     if (static_cast<std::uint64_t>(head.at.nanoseconds_count()) / width_ns == ticks) {
       return static_cast<std::size_t>(ticks % days);
@@ -58,16 +58,16 @@ std::size_t CalendarQueue::min_bucket() const {
   std::size_t best = days;
   for (std::size_t b = 0; b < days; ++b) {
     if (buckets_[b].empty()) continue;
-    if (best == days || item_before(buckets_[b].front(), buckets_[best].front())) best = b;
+    if (best == days || entry_before(buckets_[b].front(), buckets_[best].front())) best = b;
   }
   return best;
 }
 
-CalendarQueue::Item CalendarQueue::pop_min() {
+EventEntry CalendarQueue::pop_min() {
   if (size_ == 0) throw std::logic_error("CalendarQueue: pop from empty queue");
   auto& bucket = buckets_[min_bucket_cache_ ? *min_bucket_cache_ : min_bucket()];
   min_bucket_cache_.reset();
-  Item out = std::move(bucket.front());
+  const EventEntry out = bucket.front();
   bucket.erase(bucket.begin());
   --size_;
   last_popped_ = out.at;
@@ -75,7 +75,7 @@ CalendarQueue::Item CalendarQueue::pop_min() {
   return out;
 }
 
-const CalendarQueue::Item& CalendarQueue::peek_min() const {
+const EventEntry& CalendarQueue::peek_min() const {
   if (size_ == 0) throw std::logic_error("CalendarQueue: peek into empty queue");
   if (!min_bucket_cache_) min_bucket_cache_ = min_bucket();
   return buckets_[*min_bucket_cache_].front();
@@ -84,8 +84,8 @@ const CalendarQueue::Item& CalendarQueue::peek_min() const {
 bool CalendarQueue::remove(Time at, std::uint64_t seq) {
   if (size_ == 0) return false;
   auto& bucket = buckets_[bucket_of(at)];
-  const Item probe{at, seq, {}};
-  const auto it = std::lower_bound(bucket.begin(), bucket.end(), probe, item_before);
+  const EventEntry probe{at, seq, 0, 0};
+  const auto it = std::lower_bound(bucket.begin(), bucket.end(), probe, entry_before);
   if (it == bucket.end() || it->at != at || it->seq != seq) return false;
   min_bucket_cache_.reset();
   bucket.erase(it);
@@ -95,13 +95,13 @@ bool CalendarQueue::remove(Time at, std::uint64_t seq) {
 }
 
 Time CalendarQueue::estimate_width() const {
-  // Mean gap between sorted times of up to 32 sampled items; fall back to
+  // Mean gap between sorted times of up to 32 sampled entries; fall back to
   // the current width when the sample is degenerate.
   std::vector<Time> sample;
   sample.reserve(32);
   for (const auto& bucket : buckets_) {
-    for (const auto& item : bucket) {
-      sample.push_back(item.at);
+    for (const auto& entry : bucket) {
+      sample.push_back(entry.at);
       if (sample.size() >= 32) break;
     }
     if (sample.size() >= 32) break;
@@ -127,18 +127,18 @@ void CalendarQueue::maybe_resize() {
 
 void CalendarQueue::rebuild(std::size_t new_days, Time new_width) {
   ++resizes_;
-  std::vector<Item> all;
+  std::vector<EventEntry> all;
   all.reserve(size_);
   for (auto& bucket : buckets_) {
-    for (auto& item : bucket) all.push_back(std::move(item));
+    for (const auto& entry : bucket) all.push_back(entry);
     bucket.clear();
   }
   buckets_.assign(new_days, {});
   day_width_ = new_width;
-  for (auto& item : all) {
-    auto& bucket = buckets_[bucket_of(item.at)];
-    const auto pos = std::upper_bound(bucket.begin(), bucket.end(), item, item_before);
-    bucket.insert(pos, std::move(item));
+  for (const auto& entry : all) {
+    auto& bucket = buckets_[bucket_of(entry.at)];
+    const auto pos = std::upper_bound(bucket.begin(), bucket.end(), entry, entry_before);
+    bucket.insert(pos, entry);
   }
 }
 

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
+#include "sim/event_entry.hpp"
 #include "sim/time.hpp"
 
 namespace rss::sim {
@@ -19,36 +19,33 @@ namespace rss::sim {
 /// vectors. The structure resizes (doubling/halving days, re-estimating
 /// width) when occupancy drifts outside [days/2, 2*days].
 ///
+/// The queue stores plain EventEntry handles — the same 24-byte POD the
+/// heap backend pushes — so switching backends moves zero callback state
+/// and rebuilds during resize are flat memmoves, not std::function copies.
 /// This class is a priority-queue primitive (push/pop-min), deliberately
 /// mirroring the interface shape of the heap inside Scheduler so the
 /// property suite can run both against identical random schedules and
 /// demand identical pop order. bench/micro_substrate compares throughput.
 class CalendarQueue {
  public:
-  struct Item {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> cb;
-  };
-
   explicit CalendarQueue(std::size_t initial_days = 16,
                          Time initial_day_width = Time::microseconds(100));
 
-  void push(Time at, std::uint64_t seq, std::function<void()> cb);
+  void push(const EventEntry& entry);
 
-  /// Remove and return the earliest item (ties by seq). Empty -> nullopt
-  /// semantics via has_value on the optional-like bool + out param would be
-  /// clumsy; the caller must check empty() first.
-  Item pop_min();
+  /// Remove and return the earliest entry (ties by seq). The caller must
+  /// check empty() first.
+  EventEntry pop_min();
 
-  /// Earliest item without removing it (ties by seq). The caller must check
+  /// Earliest entry without removing it (ties by seq). The caller must check
   /// empty() first. The reference is invalidated by any mutating call.
-  [[nodiscard]] const Item& peek_min() const;
+  [[nodiscard]] const EventEntry& peek_min() const;
 
-  /// Remove the item matching (at, seq) wherever it sits; returns true iff
-  /// something was removed. O(bucket) — lets a caller that tracks liveness
-  /// (Scheduler cancellation) delete eagerly instead of lazily, which keeps
-  /// the monotonic pop floor from advancing past still-relevant times.
+  /// Remove the entry matching (at, seq) wherever it sits; returns true iff
+  /// something was removed. O(log bucket + bucket shift) — lets a caller
+  /// that tracks liveness (Scheduler cancellation) delete eagerly instead of
+  /// lazily, which keeps the monotonic pop floor from advancing past
+  /// still-relevant times.
   bool remove(Time at, std::uint64_t seq);
 
   [[nodiscard]] bool empty() const { return size_ == 0; }
@@ -64,7 +61,7 @@ class CalendarQueue {
         static_cast<std::uint64_t>(day_width_.nanoseconds_count());
     return static_cast<std::size_t>(ticks % buckets_.size());
   }
-  /// Bucket index holding the earliest item. Requires size_ > 0.
+  /// Bucket index holding the earliest entry. Requires size_ > 0.
   [[nodiscard]] std::size_t min_bucket() const;
   void maybe_resize();
   void rebuild(std::size_t new_days, Time new_width);
@@ -73,10 +70,10 @@ class CalendarQueue {
   /// (Scheduler::run_until does one per event) pays the O(days) scan once.
   /// Any mutation invalidates it.
   mutable std::optional<std::size_t> min_bucket_cache_;
-  /// Estimate a good day width from a sample of queued items (mean gap).
+  /// Estimate a good day width from a sample of queued entries (mean gap).
   [[nodiscard]] Time estimate_width() const;
 
-  std::vector<std::vector<Item>> buckets_;
+  std::vector<std::vector<EventEntry>> buckets_;
   Time day_width_;
   std::size_t size_{0};
   Time last_popped_{Time::zero()};

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/time.hpp"
+
+namespace rss::sim {
+
+/// One queued occurrence of a scheduled event — the single entry type both
+/// Scheduler backends (binary heap and CalendarQueue) store. It is a 24-byte
+/// trivially-copyable handle: the callback itself lives in the Scheduler's
+/// slot arena, addressed by `slot` and validated by `gen` (a generation
+/// counter that detects stale entries left behind by lazy cancellation and
+/// slot reuse). `seq` is the global insertion sequence that tie-breaks
+/// same-timestamp events, which is what keeps pop order — and therefore
+/// every reproduced artifact — deterministic across backends.
+struct EventEntry {
+  Time at;
+  std::uint64_t seq{0};
+  std::uint32_t slot{0};
+  std::uint32_t gen{0};
+};
+
+static_assert(std::is_trivially_copyable_v<EventEntry>);
+
+}  // namespace rss::sim

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/calendar_queue.hpp"
+#include "sim/event_entry.hpp"
+#include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
 
 namespace rss::sim {
@@ -21,40 +21,54 @@ enum class QueueBackend {
   kCalendarQueue,
 };
 
-/// Opaque handle to a scheduled event, used for cancellation. Default
-/// constructed handles are inert (cancel() on them is a no-op).
+/// Opaque handle to a scheduled event (or event train), used for
+/// cancellation. Encodes an arena slot index plus a generation counter, so
+/// a handle to a fired/cancelled event can never accidentally cancel the
+/// unrelated event that later reuses its slot. Default constructed handles
+/// are inert (cancel() on them is a no-op).
 class EventId {
  public:
   constexpr EventId() = default;
-  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
-  [[nodiscard]] constexpr std::uint64_t raw() const { return id_; }
+  [[nodiscard]] constexpr bool valid() const { return raw_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t raw() const { return raw_; }
   constexpr auto operator<=>(const EventId&) const = default;
 
  private:
   friend class Scheduler;
-  constexpr explicit EventId(std::uint64_t id) : id_{id} {}
-  std::uint64_t id_{0};
+  constexpr EventId(std::uint32_t slot, std::uint32_t gen)
+      : raw_{(static_cast<std::uint64_t>(slot) << 32) | gen} {}
+  [[nodiscard]] constexpr std::uint32_t slot() const {
+    return static_cast<std::uint32_t>(raw_ >> 32);
+  }
+  [[nodiscard]] constexpr std::uint32_t gen() const {
+    return static_cast<std::uint32_t>(raw_ & 0xFFFF'FFFFu);
+  }
+  std::uint64_t raw_{0};
 };
 
-/// Discrete-event scheduler: a min-heap of (time, insertion-sequence)
-/// ordered callbacks.
+/// Discrete-event scheduler: (time, insertion-sequence) ordered callbacks
+/// behind a selectable queue backend.
 ///
 /// Same-timestamp events fire in insertion order (the sequence tiebreak),
-/// which keeps simulations deterministic regardless of heap internals —
+/// which keeps simulations deterministic regardless of queue internals —
 /// a correctness requirement, not a nicety: TCP ACK processing and link
 /// drain events frequently coincide.
 ///
-/// Cancellation on the heap backend is lazy: cancel() removes the id from
-/// the live set and the pop loop discards entries that are no longer live.
-/// This keeps schedule/cancel O(log n) amortized without intrusive heap
-/// surgery. TCP retransmission timers are rescheduled on every ACK, so this
-/// path is hot. The calendar backend instead cancels eagerly (buckets are
-/// sorted vectors, so removal is a cheap binary search) — required anyway,
-/// because popping a dead far-future entry would advance the calendar's
-/// monotonic floor past times that are still schedulable.
+/// The event core is allocation-free on the hot path. Callbacks are
+/// InlineCallback (small-buffer, no heap fallback) and live in a slot
+/// arena recycled through a free list; both backends store only the 24-byte
+/// POD EventEntry. Cancellation resolves an EventId to its slot in O(1)
+/// with no hashing — the TCP retransmission timer is rescheduled on every
+/// ACK, so this path is hot. The heap backend cancels lazily (the pop loop
+/// discards entries whose generation no longer matches) but always skims
+/// dead entries off the top at cancel/pop boundaries, so next_event_time()
+/// and empty() are genuinely const. The calendar backend cancels eagerly
+/// (buckets are sorted vectors, so removal is a cheap binary search) —
+/// required anyway, because popping a dead far-future entry would advance
+/// the calendar's monotonic floor past times that are still schedulable.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   explicit Scheduler(QueueBackend backend = QueueBackend::kBinaryHeap) : backend_{backend} {}
   Scheduler(const Scheduler&) = delete;
@@ -66,14 +80,26 @@ class Scheduler {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `cb` at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Callback cb);
+  EventId schedule_at(Time at, Callback cb) { return arm(at, Time::zero(), 1, std::move(cb)); }
 
   /// Schedule `cb` after relative delay `delay` (must be >= 0).
-  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, cb); }
+  EventId schedule_in(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
 
-  /// Cancel a pending event. Safe to call with an already-fired, already-
-  /// cancelled, or default-constructed id; returns true iff something was
-  /// actually cancelled.
+  /// Schedule an event *train*: `cb` fires `count` times, at `start`,
+  /// `start + stride`, ... Back-to-back packet serializations at line rate
+  /// are exactly this shape, and a train costs one arena slot and one
+  /// callback for the whole burst — each firing re-enqueues the same entry
+  /// with a fresh insertion sequence drawn at fire time, which makes the
+  /// train byte-identical in pop order to `count` chained schedule_at calls
+  /// (the pattern it replaces). The returned id covers the whole train:
+  /// cancel() stops all remaining firings, including from inside `cb`.
+  EventId schedule_train(Time start, Time stride, std::uint64_t count, Callback cb);
+
+  /// Cancel a pending event or train. Safe to call with an already-fired,
+  /// already-cancelled, or default-constructed id; returns true iff
+  /// something was actually cancelled.
   bool cancel(EventId id);
 
   /// Run until the queue is empty or `stop()` is called.
@@ -90,37 +116,59 @@ class Scheduler {
   /// Request run()/run_until() to return after the current event completes.
   void stop() { stop_requested_ = true; }
 
-  [[nodiscard]] bool empty() const { return live_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Live (pending, uncancelled) events. A train counts as one pending
+  /// event regardless of remaining firings, matching the chained-schedule
+  /// pattern it replaces (which also has exactly one event in flight).
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Size of the slot arena (high-water mark of simultaneously-pending
+  /// events). Slots are recycled through a free list, so schedule/cancel
+  /// storms — the per-ACK RTO pattern — must not grow this; tests assert it.
+  [[nodiscard]] std::size_t arena_slots() const { return slots_.size(); }
 
   /// Timestamp of the next pending event, or Time::infinity() if none.
   [[nodiscard]] Time next_event_time() const;
 
  private:
-  struct Entry {
-    Time at;
-    std::uint64_t seq;  // insertion order; tiebreak AND cancellation id
+  /// Arena slot: owns the callback and the bookkeeping shared by one-shot
+  /// events (remaining == 1) and trains (remaining > 1). `at`/`seq` mirror
+  /// the currently-queued EventEntry so the calendar backend can remove it
+  /// eagerly on cancel without any auxiliary map.
+  struct Slot {
     Callback cb;
+    Time at;
+    Time stride;
+    std::uint64_t seq{0};
+    std::uint64_t remaining{0};
+    std::uint32_t gen{1};
+    bool armed{false};
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const EventEntry& a, const EventEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  /// Pop dead (cancelled) entries off the top of the heap. Heap backend
-  /// only — the calendar holds no dead entries (eager removal).
-  void skim_dead() const;
+  EventId arm(Time at, Time stride, std::uint64_t count, Callback cb);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void push_entry(const EventEntry& entry);
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Pop dead (cancelled) entries off the top of the heap. Called at cancel
+  /// and pop boundaries so the invariant "a non-empty heap has a live top"
+  /// holds whenever control is outside the scheduler — which is what lets
+  /// next_event_time()/empty() be plain const reads.
+  void skim_dead_heap_top();
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::priority_queue<EventEntry, std::vector<EventEntry>, Later> heap_;
   CalendarQueue calendar_;
   QueueBackend backend_{QueueBackend::kBinaryHeap};
-  /// Live (pending, uncancelled) events. Maps seq -> scheduled time so the
-  /// calendar backend can remove a cancelled entry from its bucket; the
-  /// heap backend only uses the keys.
-  std::unordered_map<std::uint64_t, Time> live_;
+  std::size_t live_{0};
   Time now_{Time::zero()};
   std::uint64_t next_seq_{1};
   std::uint64_t executed_{0};

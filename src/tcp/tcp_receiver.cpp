@@ -128,10 +128,13 @@ void TcpReceiver::fill_sack_blocks(net::TcpHeader& header) const {
 
 void TcpReceiver::schedule_delayed_ack() {
   if (delack_timer_.valid()) return;
-  delack_timer_ = sim_.in(opt_.delayed_ack_timeout, [this] {
+  const auto fire_delack = [this] {
     delack_timer_ = sim::EventId{};
     if (unacked_arrivals_ > 0) send_ack();
-  });
+  };
+  static_assert(sizeof(fire_delack) <= sim::InlineCallback::kCapacity,
+                "delayed-ACK callback must stay inline on the per-segment hot path");
+  delack_timer_ = sim_.in(opt_.delayed_ack_timeout, fire_delack);
 }
 
 }  // namespace rss::tcp

@@ -389,7 +389,12 @@ void TcpSender::on_retransmission_timeout() {
 
 void TcpSender::arm_rto_timer() {
   disarm_rto_timer();
-  rto_timer_ = sim_.in(rtt_.rto(), [this] { on_retransmission_timeout(); });
+  // Rescheduled on every ACK — the scheduler's O(1) cancel + inline
+  // callback make this allocation-free, provided the closure stays small.
+  const auto on_rto = [this] { on_retransmission_timeout(); };
+  static_assert(sizeof(on_rto) <= sim::InlineCallback::kCapacity,
+                "RTO callback must stay inline on the per-ACK hot path");
+  rto_timer_ = sim_.in(rtt_.rto(), on_rto);
 }
 
 void TcpSender::disarm_rto_timer() {

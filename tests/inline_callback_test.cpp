@@ -1,0 +1,158 @@
+// InlineCallback is the scheduler's allocation-free callable: these tests
+// pin down the ownership contract the event core depends on — the wrapped
+// callable's destructor runs exactly once no matter how the wrapper is
+// moved around, and captures that don't fit the inline buffer are rejected
+// at compile time (no silent heap fallback).
+
+#include "sim/inline_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rss::sim {
+namespace {
+
+/// Counts constructions/destructions so tests can assert exactly-once
+/// destruction across arbitrary move chains.
+struct LifetimeProbe {
+  int* constructed;
+  int* destroyed;
+  int* invoked;
+
+  LifetimeProbe(int* c, int* d, int* i) noexcept
+      : constructed{c}, destroyed{d}, invoked{i} {
+    ++*constructed;
+  }
+  LifetimeProbe(const LifetimeProbe& other) noexcept
+      : constructed{other.constructed},
+        destroyed{other.destroyed},
+        invoked{other.invoked} {
+    ++*constructed;
+  }
+  LifetimeProbe(LifetimeProbe&& other) noexcept
+      : constructed{other.constructed},
+        destroyed{other.destroyed},
+        invoked{other.invoked} {
+    ++*constructed;
+  }
+  ~LifetimeProbe() { ++*destroyed; }
+  void operator()() const { ++*invoked; }
+};
+
+TEST(InlineCallbackTest, InvokesWrappedCallable) {
+  int hits = 0;
+  InlineCallback cb{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, DefaultConstructedIsEmpty) {
+  const InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallbackTest, DestructorRunsExactlyOnce) {
+  int constructed = 0, destroyed = 0, invoked = 0;
+  {
+    InlineCallback cb{LifetimeProbe{&constructed, &destroyed, &invoked}};
+    cb();
+  }
+  EXPECT_EQ(invoked, 1);
+  // Every construction (including the temporary and moves) pairs with
+  // exactly one destruction: nothing leaked, nothing double-destroyed.
+  EXPECT_EQ(constructed, destroyed);
+  EXPECT_GE(constructed, 1);
+}
+
+TEST(InlineCallbackTest, MoveTransfersOwnershipAndEmptiesSource) {
+  int constructed = 0, destroyed = 0, invoked = 0;
+  {
+    InlineCallback a{LifetimeProbe{&constructed, &destroyed, &invoked}};
+    InlineCallback b{std::move(a)};
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move): contract
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+
+    InlineCallback c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move): contract
+    c();
+  }
+  EXPECT_EQ(invoked, 2);
+  EXPECT_EQ(constructed, destroyed);
+}
+
+TEST(InlineCallbackTest, MoveAssignmentDestroysPreviousCallable) {
+  int c1 = 0, d1 = 0, i1 = 0;
+  int c2 = 0, d2 = 0, i2 = 0;
+  InlineCallback a{LifetimeProbe{&c1, &d1, &i1}};
+  InlineCallback b{LifetimeProbe{&c2, &d2, &i2}};
+  a = std::move(b);  // the first probe must be fully destroyed here
+  EXPECT_EQ(c1, d1);
+  a();
+  EXPECT_EQ(i1, 0);
+  EXPECT_EQ(i2, 1);
+}
+
+TEST(InlineCallbackTest, SelfMoveAssignmentIsSafe) {
+  int constructed = 0, destroyed = 0, invoked = 0;
+  InlineCallback cb{LifetimeProbe{&constructed, &destroyed, &invoked}};
+  auto& self = cb;
+  cb = std::move(self);
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  EXPECT_EQ(invoked, 1);
+}
+
+TEST(InlineCallbackTest, SharedStateReleasedOnDestruction) {
+  // The shared_ptr capture pattern Simulation::every uses: destroying the
+  // callback must release the captured ownership.
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineCallback cb{[token] { (void)*token; }};
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // the callback keeps it alive
+  }
+  EXPECT_TRUE(watch.expired());  // and its destruction lets go
+}
+
+// Compile-time capture budget: these are the static guarantees the
+// scheduler hot path relies on — they fail the *build*, not the test run.
+struct alignas(64) OverAligned {
+  void operator()() const {}
+};
+
+using SmallCapture = decltype([x = std::array<std::byte, InlineCallback::kCapacity>{}] {
+  (void)x;
+});
+using OversizedCapture =
+    decltype([x = std::array<std::byte, InlineCallback::kCapacity + 1>{}] { (void)x; });
+
+static_assert(std::is_constructible_v<InlineCallback, SmallCapture>,
+              "a capture of exactly kCapacity bytes must fit inline");
+static_assert(!std::is_constructible_v<InlineCallback, OversizedCapture>,
+              "captures beyond kCapacity must be rejected at compile time");
+static_assert(!std::is_constructible_v<InlineCallback, OverAligned>,
+              "over-aligned callables must be rejected at compile time");
+static_assert(!std::is_copy_constructible_v<InlineCallback> &&
+                  !std::is_copy_assignable_v<InlineCallback>,
+              "InlineCallback is move-only");
+static_assert(std::is_nothrow_move_constructible_v<InlineCallback> &&
+                  std::is_nothrow_move_assignable_v<InlineCallback>,
+              "moves must be noexcept so the scheduler arena can relocate");
+
+TEST(InlineCallbackTest, CompileTimeContracts) {
+  // The static_asserts above are the test; this keeps the suite visible.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rss::sim

@@ -1,6 +1,9 @@
 // Property suite for the event core: randomized schedules must execute in
 // exact (time, insertion) order under both the binary-heap Scheduler and
 // the CalendarQueue, and the two structures must agree item for item.
+// Also covers the allocation-free machinery underneath: slot-arena reuse
+// under reschedule storms, and schedule_train equivalence with chained
+// one-shot scheduling.
 
 #include <gtest/gtest.h>
 
@@ -75,32 +78,116 @@ TEST_P(RandomScheduleTest, RandomCancellationsNeverFireAndOthersAlwaysDo) {
   }
 }
 
+// The per-ACK RTO pattern: cancel + immediately reschedule, thousands of
+// times, against both backends. The slot arena must recycle — its size is
+// bounded by *simultaneously pending* events, not by scheduling traffic.
+TEST_P(RandomScheduleTest, RescheduleStormRecyclesArenaSlots) {
+  const auto plan = GetParam();
+  for (const auto backend : {QueueBackend::kBinaryHeap, QueueBackend::kCalendarQueue}) {
+    Rng rng{plan.seed ^ 0x7777};
+    Scheduler s{backend};
+    std::uint64_t fired = 0;
+    EventId timer{};
+    std::size_t peak_pending = 0;
+    for (std::size_t i = 0; i < plan.events; ++i) {
+      // False when a run_until below already fired the timer — both paths
+      // (cancel-then-rearm, fire-then-rearm) occur in this storm.
+      if (timer.valid()) (void)s.cancel(timer);
+      const Time at = s.now() + Time::nanoseconds(static_cast<std::int64_t>(
+                                    rng.next_in(1, 1'000'000)));
+      timer = s.schedule_at(at, [&fired] { ++fired; });
+      // A little background traffic so the arena holds more than one slot.
+      if (rng.next_bool(0.1)) {
+        s.schedule_at(at, [&fired] { ++fired; });
+      }
+      peak_pending = std::max(peak_pending, s.pending());
+      if (rng.next_bool(0.3)) s.run_until(at);
+    }
+    s.run();
+    // The storm scheduled ~1.1 * events callbacks; the arena must stay at
+    // the high-water mark of pending events, orders of magnitude smaller.
+    EXPECT_LE(s.arena_slots(), peak_pending);
+    EXPECT_EQ(s.pending(), 0u);
+    EXPECT_EQ(s.events_executed(), fired);
+  }
+}
+
+// schedule_train must be observationally identical to the chained
+// self-rescheduling pattern it replaces: same firing times, same now() at
+// each firing, same interleaving with independently scheduled events.
+TEST_P(RandomScheduleTest, TrainMatchesChainedScheduling) {
+  const auto plan = GetParam();
+  const auto stride = Time::nanoseconds(std::max<std::int64_t>(plan.horizon_ns / 64, 1));
+  const std::uint64_t count = 16;
+
+  struct Firing {
+    std::int64_t at;
+    int label;
+  };
+  const auto run_one = [&](bool use_train) {
+    std::vector<Firing> log;
+    Scheduler s;
+    Rng rng{plan.seed ^ 0x1234};
+    // Background noise events across the train's span.
+    for (std::size_t i = 0; i < plan.events / 4 + 4; ++i) {
+      const Time at = Time::nanoseconds(static_cast<std::int64_t>(rng.next_in(
+          0, static_cast<std::uint64_t>(stride.nanoseconds_count()) * (count + 1))));
+      s.schedule_at(at, [&log, &s] { log.push_back({s.now().nanoseconds_count(), 0}); });
+    }
+    if (use_train) {
+      s.schedule_train(stride, stride, count,
+                       [&log, &s] { log.push_back({s.now().nanoseconds_count(), 1}); });
+    } else {
+      struct Chain {
+        Scheduler* s;
+        std::vector<Firing>* log;
+        Time stride;
+        std::uint64_t left;
+        void operator()() const {
+          log->push_back({s->now().nanoseconds_count(), 1});
+          if (left > 1) s->schedule_in(stride, Chain{s, log, stride, left - 1});
+        }
+      };
+      s.schedule_at(stride, Chain{&s, &log, stride, count});
+    }
+    s.run();
+    return log;
+  };
+
+  const auto train = run_one(true);
+  const auto chain = run_one(false);
+  ASSERT_EQ(train.size(), chain.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(train[i].at, chain[i].at) << "firing " << i;
+    EXPECT_EQ(train[i].label, chain[i].label) << "firing " << i;
+  }
+}
+
 TEST_P(RandomScheduleTest, CalendarQueueAgreesWithHeapOrder) {
   const auto plan = GetParam();
   Rng rng{plan.seed ^ 0x5555};
   CalendarQueue cal;
 
-  struct Entry {
-    Time at;
-    std::uint64_t seq;
-  };
-  std::vector<Entry> entries;
+  std::vector<EventEntry> entries;
   for (std::size_t i = 0; i < plan.events; ++i) {
     const Time at = Time::nanoseconds(static_cast<std::int64_t>(
         rng.next_in(0, static_cast<std::uint64_t>(plan.horizon_ns))));
-    entries.push_back({at, i});
-    cal.push(at, i, [] {});
+    const EventEntry entry{at, i, static_cast<std::uint32_t>(i), 1};
+    entries.push_back(entry);
+    cal.push(entry);
   }
-  std::stable_sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
-    if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
-  });
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const EventEntry& a, const EventEntry& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     return a.seq < b.seq;
+                   });
 
   for (std::size_t i = 0; i < entries.size(); ++i) {
     ASSERT_FALSE(cal.empty());
-    const auto item = cal.pop_min();
-    EXPECT_EQ(item.at, entries[i].at) << "position " << i;
-    EXPECT_EQ(item.seq, entries[i].seq) << "position " << i;
+    const auto entry = cal.pop_min();
+    EXPECT_EQ(entry.at, entries[i].at) << "position " << i;
+    EXPECT_EQ(entry.seq, entries[i].seq) << "position " << i;
+    EXPECT_EQ(entry.slot, entries[i].slot) << "position " << i;
   }
   EXPECT_TRUE(cal.empty());
 }
@@ -121,20 +208,20 @@ TEST_P(RandomScheduleTest, CalendarQueueInterleavedPushPop) {
     for (std::uint64_t b = 0; b < burst; ++b) {
       const Time at = now + Time::nanoseconds(static_cast<std::int64_t>(
                                 rng.next_in(0, 1'000'000)));
-      cal.push(at, seq++, [] {});
+      cal.push(EventEntry{at, seq++, 0, 1});
     }
     if (!cal.empty() && rng.next_bool(0.7)) {
-      const auto item = cal.pop_min();
-      EXPECT_GE(item.at, last_popped);
-      last_popped = item.at;
-      now = item.at;
+      const auto entry = cal.pop_min();
+      EXPECT_GE(entry.at, last_popped);
+      last_popped = entry.at;
+      now = entry.at;
       ++pops;
     }
   }
   while (!cal.empty()) {
-    const auto item = cal.pop_min();
-    EXPECT_GE(item.at, last_popped);
-    last_popped = item.at;
+    const auto entry = cal.pop_min();
+    EXPECT_GE(entry.at, last_popped);
+    last_popped = entry.at;
     ++pops;
   }
   EXPECT_EQ(pops, seq);
@@ -154,23 +241,25 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(CalendarQueueTest, ResizesUnderLoad) {
   CalendarQueue cal{16, Time::microseconds(1)};
-  for (std::uint64_t i = 0; i < 1000; ++i)
-    cal.push(Time::nanoseconds(static_cast<std::int64_t>(i * 137 % 100000)), i, [] {});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    cal.push(EventEntry{Time::nanoseconds(static_cast<std::int64_t>(i * 137 % 100000)), i,
+                        static_cast<std::uint32_t>(i), 1});
+  }
   EXPECT_GT(cal.resizes(), 0u);
   EXPECT_GT(cal.day_count(), 16u);
   Time last = Time::zero();
   while (!cal.empty()) {
-    const auto item = cal.pop_min();
-    EXPECT_GE(item.at, last);
-    last = item.at;
+    const auto entry = cal.pop_min();
+    EXPECT_GE(entry.at, last);
+    last = entry.at;
   }
 }
 
 TEST(CalendarQueueTest, RejectsPastPushAndEmptyPop) {
   CalendarQueue cal;
-  cal.push(Time::milliseconds(5), 1, [] {});
+  cal.push(EventEntry{Time::milliseconds(5), 1, 0, 1});
   (void)cal.pop_min();
-  EXPECT_THROW(cal.push(Time::milliseconds(1), 2, [] {}), std::invalid_argument);
+  EXPECT_THROW(cal.push(EventEntry{Time::milliseconds(1), 2, 0, 1}), std::invalid_argument);
   EXPECT_THROW((void)cal.pop_min(), std::logic_error);
 }
 

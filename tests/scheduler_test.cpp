@@ -143,6 +143,52 @@ TEST(SchedulerTest, StepSingleSteps) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(SchedulerTest, StaleIdCannotCancelSlotReuser) {
+  // Generation-checked ids: after cancel, the arena slot is recycled by the
+  // next schedule — a stale handle to the first event must not be able to
+  // cancel (or even observe) its successor.
+  Scheduler s;
+  bool fired = false;
+  const EventId first = s.schedule_at(1_ms, [] {});
+  EXPECT_TRUE(s.cancel(first));
+  const EventId second = s.schedule_at(1_ms, [&fired] { fired = true; });
+  EXPECT_EQ(s.arena_slots(), 1u);  // second reused first's slot
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(s.cancel(first));  // stale: generation mismatch
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, ArenaStaysFlatUnderRescheduleStorm) {
+  // The per-ACK RTO pattern must not grow memory: the arena's size is the
+  // high-water mark of *simultaneously pending* events, not of scheduling
+  // traffic. This is the pending-set assertion replacing the old live_ map
+  // (which paid a hash-map node with a Time per event even on the heap
+  // backend, where the value was never read).
+  for (const auto backend : {QueueBackend::kBinaryHeap, QueueBackend::kCalendarQueue}) {
+    Scheduler s{backend};
+    EventId pending{};
+    for (int i = 0; i < 10'000; ++i) {
+      if (pending.valid()) s.cancel(pending);
+      pending = s.schedule_at(Time::nanoseconds(i + 1), [] {});
+    }
+    EXPECT_EQ(s.pending(), 1u);
+    EXPECT_EQ(s.arena_slots(), 1u);
+    s.run();
+    EXPECT_EQ(s.pending(), 0u);
+    EXPECT_EQ(s.events_executed(), 1u);
+  }
+}
+
+TEST(SimulationTest, TrainForwardsToScheduler) {
+  Simulation sim;
+  int fires = 0;
+  sim.train(5_ms, 5_ms, 3, [&fires] { ++fires; });
+  sim.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.now(), 15_ms);
+}
+
 TEST(SimulationTest, EveryRepeatsUntilFalse) {
   Simulation sim;
   std::vector<Time> ticks;
