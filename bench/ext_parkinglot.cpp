@@ -1,0 +1,11 @@
+// EXT-PARKINGLOT — multi-bottleneck parking-lot fairness with
+// heterogeneous per-hop RTTs.
+//
+// The experiment itself lives in src/artifacts/experiments/ext_parkinglot.cpp
+// and is shared with the rss_artifacts driver (--run/--write-goldens/--check);
+// this binary is the thin stdout front end. Exit code: 0 iff the expected
+// shape reproduced.
+
+#include "artifacts/runner.hpp"
+
+int main() { return rss::artifacts::run_experiment_main("ext_parkinglot"); }

@@ -7,9 +7,10 @@
 //
 // Two entry points:
 //   (default)   google-benchmark CLI — full microbenchmark suite.
-//   --smoke     CI mode: run the packet-dense WAN scenario and a scheduler
-//               churn loop on both backends for a few seconds and write
-//               BENCH_scheduler.json (events/sec per backend), so the perf
+//   --smoke     CI mode: run the packet-dense WAN scenario, the 3-hop
+//               parking-lot scenario and a scheduler churn loop on both
+//               backends for a few seconds and write BENCH_scheduler.json
+//               (events/sec per scenario and backend), so the perf
 //               trajectory of the event core is recorded per commit.
 //               Options: --out <path> (default BENCH_scheduler.json),
 //               --seconds <n> (approx budget per backend, default 2).
@@ -27,6 +28,7 @@
 #include "control/pid.hpp"
 #include "net/queue.hpp"
 #include "scenario/cc_factories.hpp"
+#include "scenario/presets.hpp"
 #include "scenario/wan_path.hpp"
 #include "sim/scheduler.hpp"
 
@@ -185,6 +187,27 @@ SmokeResult smoke_wan(sim::QueueBackend backend, double budget_seconds) {
   return r;
 }
 
+/// Multi-bottleneck forwarding mix: 1 simulated second of the 3-hop
+/// parking lot (end-to-end flow + per-hop cross traffic, heterogeneous
+/// RTTs) built through ScenarioBuilder. Adds transit forwarding and
+/// several contended router queues to the event mix — the load profile of
+/// the fairness-study sweeps, which the WAN scenario doesn't exercise.
+SmokeResult smoke_parkinglot(sim::QueueBackend backend, double budget_seconds) {
+  SmokeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (r.seconds < budget_seconds) {
+    scenario::ParkingLot::Config cfg;
+    cfg.backend = backend;
+    cfg.access_rate = net::DataRate::mbps(100);
+    scenario::ParkingLot lot{cfg, scenario::uniform_cc(scenario::make_rss_factory())};
+    lot.start_all(sim::Time::zero());
+    lot.simulation().run_until(1_s);
+    r.events += lot.simulation().scheduler().events_executed();
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  return r;
+}
+
 /// Pure scheduler churn: the schedule/cancel/reschedule storm of the
 /// per-ACK RTO path, plus trains, with no protocol work diluting it.
 SmokeResult smoke_churn(sim::QueueBackend backend, double budget_seconds) {
@@ -235,6 +258,7 @@ int run_smoke(const std::vector<std::string>& args) {
     const std::string_view name =
         backend == sim::QueueBackend::kBinaryHeap ? "binary_heap" : "calendar_queue";
     rows.push_back({"wan_path_packet_dense", name, smoke_wan(backend, budget)});
+    rows.push_back({"parking_lot_3hop", name, smoke_parkinglot(backend, budget)});
     rows.push_back({"scheduler_churn", name, smoke_churn(backend, budget)});
   }
 

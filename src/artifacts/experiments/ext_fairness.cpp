@@ -3,6 +3,10 @@
 // own startup, so it must not hurt competing standard flows. Three
 // dumbbell populations (4 flows, staggered starts, shared 100 Mbit/s
 // bottleneck): all-Reno, all-RSS, and mixed.
+//
+// Built on the declarative topology API: the dumbbell spec comes from
+// Dumbbell::make_spec, the staggered starts are declared on the FlowSpecs,
+// and ScenarioBuilder wires it.
 
 #include <memory>
 #include <numeric>
@@ -11,6 +15,7 @@
 
 #include "artifacts/experiments.hpp"
 #include "metrics/summary.hpp"
+#include "scenario/builder.hpp"
 #include "scenario/cc_factories.hpp"
 #include "scenario/dumbbell.hpp"
 #include "scenario/sweep.hpp"
@@ -29,8 +34,7 @@ struct Result {
   unsigned long long stalls{0};
 };
 
-Result run_population(const std::string& label,
-                      const scenario::Dumbbell::PerFlowCcFactory& factory) {
+Result run_population(const std::string& label, const scenario::FlowCcFactory& factory) {
   scenario::Dumbbell::Config cfg;
   cfg.flows = 4;
   // Paper-era hosts: the access NIC runs at the same 100 Mbit/s as the
@@ -38,18 +42,21 @@ Result run_population(const std::string& label,
   // (host congestion) while steady-state contention happens at the router
   // (network congestion).
   cfg.access_rate = net::DataRate::mbps(100);
-  scenario::Dumbbell d{cfg, factory};
-  for (std::size_t i = 0; i < cfg.flows; ++i)
-    d.start_flow(i, sim::Time::seconds(static_cast<std::int64_t>(2 * i)));
+
+  scenario::TopologySpec spec = scenario::Dumbbell::make_spec(cfg);
+  for (std::size_t i = 0; i < spec.flows.size(); ++i)
+    spec.flows[i].start = sim::Time::seconds(static_cast<std::int64_t>(2 * i));
+  auto scenario = scenario::ScenarioBuilder{std::move(spec)}.build(factory);
+
   const sim::Time horizon = 40_s;
-  d.simulation().run_until(horizon);
+  scenario->run_until(horizon);
 
   Result r;
   r.label = label;
-  r.goodputs = d.goodputs_mbps(sim::Time::zero(), horizon);
+  r.goodputs = scenario->goodputs_mbps(sim::Time::zero(), horizon);
   r.fairness = metrics::jain_fairness(r.goodputs);
   r.total = std::accumulate(r.goodputs.begin(), r.goodputs.end(), 0.0);
-  for (std::size_t i = 0; i < cfg.flows; ++i) r.stalls += d.sender(i).mib().SendStall;
+  for (std::size_t i = 0; i < cfg.flows; ++i) r.stalls += scenario->sender(i).mib().SendStall;
   return r;
 }
 
@@ -67,20 +74,15 @@ Experiment make_ext_fairness_experiment() {
     const std::vector<std::string> labels{"all-reno", "all-rss", "mixed rss/reno"};
 
     scenario::parallel_sweep(3, [&](std::size_t i) {
-      scenario::Dumbbell::PerFlowCcFactory factory;
+      scenario::FlowCcFactory factory;
       if (i == 0) {
-        factory = [](std::size_t) -> std::unique_ptr<tcp::CongestionControl> {
-          return std::make_unique<tcp::RenoCongestionControl>();
-        };
+        factory = scenario::uniform_cc(scenario::make_reno_factory());
       } else if (i == 1) {
-        factory = [](std::size_t) -> std::unique_ptr<tcp::CongestionControl> {
-          return std::make_unique<core::RestrictedSlowStart>();
-        };
+        factory = scenario::uniform_cc(scenario::make_rss_factory());
       } else {
-        factory = [](std::size_t f) -> std::unique_ptr<tcp::CongestionControl> {
-          if (f % 2 == 0) return std::make_unique<core::RestrictedSlowStart>();
-          return std::make_unique<tcp::RenoCongestionControl>();
-        };
+        // Alternating mixed population: RSS on even flow indices.
+        factory = scenario::striped_cc(
+            {scenario::make_rss_factory(), scenario::make_reno_factory()});
       }
       results[i] = run_population(labels[i], factory);
     });

@@ -29,6 +29,12 @@ void Node::set_default_route(std::size_t device_index) {
   default_route_ = device_index;
 }
 
+std::optional<std::size_t> Node::route(std::uint32_t dst_node) const {
+  const auto it = routes_.find(dst_node);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
 void Node::register_flow_handler(std::uint32_t flow_id, FlowHandler handler) {
   if (!handler) throw std::invalid_argument("Node::register_flow_handler: null handler");
   if (!flow_handlers_.emplace(flow_id, std::move(handler)).second)

@@ -53,6 +53,12 @@ class Node {
   void set_route(std::uint32_t dst_node, std::size_t device_index);
   /// Fallback egress when no specific route matches.
   void set_default_route(std::size_t device_index);
+  /// Installed egress device index for `dst_node`, or nullopt when only
+  /// the default route (or nothing) would match — forwarding-table
+  /// introspection for topology-builder tests and debugging.
+  [[nodiscard]] std::optional<std::size_t> route(std::uint32_t dst_node) const;
+  [[nodiscard]] std::optional<std::size_t> default_route() const { return default_route_; }
+  [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
 
   /// Register the handler for packets of a given flow addressed to this
   /// node. A flow may have at most one handler.

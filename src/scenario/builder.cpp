@@ -1,0 +1,215 @@
+#include "scenario/builder.hpp"
+
+#include <stdexcept>
+
+namespace rss::scenario {
+
+namespace {
+
+constexpr std::uint64_t edge_key(std::size_t a, std::size_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+[[nodiscard]] std::unique_ptr<net::PacketQueue> make_queue(const DeviceSpec& dev,
+                                                           sim::Simulation& sim) {
+  if (dev.qdisc == QueueDiscipline::kRed) {
+    net::RedQueue::Options red = dev.red;
+    red.capacity_packets = dev.ifq_packets;
+    return std::make_unique<net::RedQueue>(red, sim.rng().fork());
+  }
+  return std::make_unique<net::DropTailQueue>(dev.ifq_packets);
+}
+
+}  // namespace
+
+// --- ScenarioBuilder ------------------------------------------------------
+
+ScenarioBuilder& ScenarioBuilder::node(std::string name) {
+  spec_.nodes.push_back(std::move(name));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::link(LinkSpec link) {
+  spec_.links.push_back(std::move(link));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::duplex_link(std::string a, std::string b,
+                                              net::DataRate rate, sim::Time delay,
+                                              std::size_t ifq_packets) {
+  LinkSpec l;
+  l.a = std::move(a);
+  l.b = std::move(b);
+  l.delay = delay;
+  l.a_dev.rate = rate;
+  l.a_dev.ifq_packets = ifq_packets;
+  l.b_dev.rate = rate;
+  l.b_dev.ifq_packets = ifq_packets;
+  spec_.links.push_back(std::move(l));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::flow(FlowSpec flow) {
+  spec_.flows.push_back(std::move(flow));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
+  spec_.seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::backend(sim::QueueBackend backend) {
+  spec_.backend = backend;
+  return *this;
+}
+
+sim::QueueBackend ScenarioBuilder::auto_backend(const TopologySpec& spec,
+                                                const RouteTable& routes) {
+  return estimated_pending_events(spec, routes) >= kCalendarQueuePendingEvents
+             ? sim::QueueBackend::kCalendarQueue
+             : sim::QueueBackend::kBinaryHeap;
+}
+
+std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory) const {
+  if (!cc_factory)
+    throw TopologyError(TopologyError::Code::kNullCcFactory,
+                        "ScenarioBuilder: null congestion-control factory");
+  validate_topology(spec_);
+  RouteTable routes = compute_routes(spec_);
+
+  // Routability is a spec property, so reject before wiring anything.
+  for (const auto& flow : spec_.flows) {
+    const std::size_t src = *node_index(spec_, flow.src);
+    const std::size_t dst = *node_index(spec_, flow.dst);
+    if (!routes.reachable(src, dst))
+      throw TopologyError(TopologyError::Code::kUnroutableFlow,
+                          "topology: no path from '" + flow.src + "' to '" + flow.dst + "'");
+  }
+
+  const sim::QueueBackend backend = spec_.backend.value_or(auto_backend(spec_, routes));
+  // make_unique needs a public constructor; the builder is a friend, so
+  // construct directly.
+  std::unique_ptr<Scenario> scenario{new Scenario(spec_, std::move(routes), backend)};
+  const TopologySpec& spec = scenario->spec_;
+  sim::Simulation& sim = scenario->sim_;
+
+  // Nodes: ids are 1-based spec indices.
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    scenario->nodes_.push_back(
+        std::make_unique<net::Node>(sim, static_cast<std::uint32_t>(i + 1), spec.nodes[i]));
+    scenario->node_index_.emplace(spec.nodes[i], i);
+  }
+
+  // Links: one device per endpoint, created in link declaration order so
+  // device indices match the RouteTable's adjacency.
+  for (const auto& link : spec.links) {
+    const std::size_t a = scenario->index_of(link.a);
+    const std::size_t b = scenario->index_of(link.b);
+    const std::string a_name =
+        link.a_dev.name.empty() ? link.a + "->" + link.b : link.a_dev.name;
+    const std::string b_name =
+        link.b_dev.name.empty() ? link.b + "->" + link.a : link.b_dev.name;
+    net::NetDevice& a_dev =
+        scenario->nodes_[a]->add_device(link.a_dev.rate, make_queue(link.a_dev, sim), a_name);
+    net::NetDevice& b_dev =
+        scenario->nodes_[b]->add_device(link.b_dev.rate, make_queue(link.b_dev, sim), b_name);
+    scenario->links_.push_back(std::make_unique<net::PointToPointLink>(sim, link.delay));
+    scenario->links_.back()->attach(a_dev, b_dev);
+    scenario->device_by_edge_.emplace(edge_key(a, b), &a_dev);
+    scenario->device_by_edge_.emplace(edge_key(b, a), &b_dev);
+  }
+
+  // Forwarding tables from the shortest-path routes.
+  for (std::size_t n = 0; n < spec.nodes.size(); ++n) {
+    for (std::size_t d = 0; d < spec.nodes.size(); ++d) {
+      const std::size_t device = scenario->routes_.next_device[n][d];
+      if (n == d || device == RouteTable::kUnreachable) continue;
+      scenario->nodes_[n]->set_route(static_cast<std::uint32_t>(d + 1), device);
+    }
+  }
+
+  // Flows: receiver first, then sender (the order the hand-wired
+  // scenarios used), then the optional Web100 agent.
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const auto& flow = spec.flows[f];
+    const std::size_t src = scenario->index_of(flow.src);
+    const std::size_t dst = scenario->index_of(flow.dst);
+    const std::uint32_t flow_id =
+        flow.flow_id != 0 ? flow.flow_id : static_cast<std::uint32_t>(f + 1);
+
+    Scenario::FlowRuntime runtime;
+
+    tcp::TcpReceiver::Options rx_opt = flow.receiver;
+    rx_opt.flow_id = flow_id;
+    rx_opt.peer_node = static_cast<std::uint32_t>(src + 1);
+    runtime.receiver =
+        std::make_unique<tcp::TcpReceiver>(sim, *scenario->nodes_[dst], rx_opt);
+
+    tcp::TcpSender::Options tx_opt = flow.sender;
+    tx_opt.flow_id = flow_id;
+    tx_opt.dst_node = static_cast<std::uint32_t>(dst + 1);
+    net::NetDevice& egress =
+        scenario->nodes_[src]->device(scenario->routes_.egress(src, dst));
+    runtime.sender = std::make_unique<tcp::TcpSender>(sim, *scenario->nodes_[src], egress,
+                                                      cc_factory(f), tx_opt);
+
+    if (flow.web100) {
+      runtime.agent = std::make_unique<web100::PollingAgent>(
+          sim,
+          [sender = runtime.sender.get()]() -> const web100::Mib& { return sender->mib(); },
+          flow.web100_poll_period);
+      runtime.agent->start();
+    }
+
+    scenario->flows_.push_back(std::move(runtime));
+  }
+
+  // Spec-declared starts, scheduled after every flow is wired so flow
+  // construction order never interleaves with start events.
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    if (spec.flows[f].start) scenario->start_flow(f, *spec.flows[f].start);
+  }
+
+  return scenario;
+}
+
+// --- Scenario -------------------------------------------------------------
+
+Scenario::Scenario(TopologySpec spec, RouteTable routes, sim::QueueBackend backend)
+    : spec_{std::move(spec)}, routes_{std::move(routes)}, sim_{spec_.seed, backend} {}
+
+std::size_t Scenario::index_of(std::string_view name) const {
+  const auto it = node_index_.find(std::string{name});
+  if (it == node_index_.end())
+    throw std::out_of_range("Scenario: unknown node '" + std::string{name} + "'");
+  return it->second;
+}
+
+void Scenario::start_flow(std::size_t i, sim::Time at) {
+  tcp::TcpSender* sender = flows_.at(i).sender.get();
+  sim_.at(at, [sender] { sender->set_unlimited(true); });
+}
+
+std::vector<double> Scenario::goodputs_mbps(sim::Time t0, sim::Time t1) const {
+  std::vector<double> out;
+  out.reserve(flows_.size());
+  for (const auto& flow : flows_) out.push_back(flow.sender->goodput_mbps(t0, t1));
+  return out;
+}
+
+net::Node& Scenario::node(std::string_view name) { return *nodes_.at(index_of(name)); }
+
+net::NetDevice& Scenario::device(std::string_view node, std::string_view peer) {
+  const auto it = device_by_edge_.find(edge_key(index_of(node), index_of(peer)));
+  if (it == device_by_edge_.end())
+    throw std::out_of_range("Scenario: no direct link from '" + std::string{node} +
+                            "' to '" + std::string{peer} + "'");
+  return *it->second;
+}
+
+const net::NetDevice& Scenario::device(std::string_view node, std::string_view peer) const {
+  return const_cast<Scenario*>(this)->device(node, peer);
+}
+
+}  // namespace rss::scenario

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "scenario/topology.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+#include "web100/polling_agent.hpp"
+
+namespace rss::scenario {
+
+/// A built topology: the simulation plus every node, link, device and flow
+/// endpoint the spec described, with lookup by the spec's names. Returned
+/// by ScenarioBuilder::build; non-copyable and non-movable (everything
+/// holds a Simulation&), so it travels as a unique_ptr.
+class Scenario {
+ public:
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] const TopologySpec& spec() const { return spec_; }
+  [[nodiscard]] const RouteTable& routes() const { return routes_; }
+  /// The backend the simulation actually runs on (explicit or auto-selected).
+  [[nodiscard]] sim::QueueBackend backend() const { return sim_.scheduler().backend(); }
+
+  // --- flows (indices follow spec.flows order) ---
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return *flows_.at(i).sender; }
+  [[nodiscard]] const tcp::TcpSender& sender(std::size_t i) const {
+    return *flows_.at(i).sender;
+  }
+  [[nodiscard]] tcp::TcpReceiver& receiver(std::size_t i) { return *flows_.at(i).receiver; }
+  /// Web100 agent for flow i, or nullptr when the spec didn't ask for one.
+  [[nodiscard]] web100::PollingAgent* agent(std::size_t i) { return flows_.at(i).agent.get(); }
+
+  /// Schedule flow i's unbounded bulk transfer to begin at `at` (for flows
+  /// whose spec left `start` unset, or to start one again).
+  void start_flow(std::size_t i, sim::Time at);
+
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+  /// Per-flow goodput over [t0, t1] (Mbit/s), in flow order.
+  [[nodiscard]] std::vector<double> goodputs_mbps(sim::Time t0, sim::Time t1) const;
+
+  // --- topology lookup ---
+  [[nodiscard]] net::Node& node(std::string_view name);
+  /// Egress NetDevice on `node` for the direct link toward `peer`; throws
+  /// std::out_of_range when the two are not directly linked. This is how
+  /// experiments name a bottleneck ("routerL" toward "routerR").
+  [[nodiscard]] net::NetDevice& device(std::string_view node, std::string_view peer);
+  [[nodiscard]] const net::NetDevice& device(std::string_view node,
+                                             std::string_view peer) const;
+
+ private:
+  friend class ScenarioBuilder;
+  Scenario(TopologySpec spec, RouteTable routes, sim::QueueBackend backend);
+
+  struct FlowRuntime {
+    std::unique_ptr<tcp::TcpReceiver> receiver;
+    std::unique_ptr<tcp::TcpSender> sender;
+    std::unique_ptr<web100::PollingAgent> agent;
+  };
+
+  [[nodiscard]] std::size_t index_of(std::string_view name) const;
+
+  TopologySpec spec_;
+  RouteTable routes_;
+  sim::Simulation sim_;
+  std::vector<std::unique_ptr<net::Node>> nodes_;
+  std::vector<std::unique_ptr<net::PointToPointLink>> links_;
+  std::vector<FlowRuntime> flows_;
+  std::unordered_map<std::string, std::size_t> node_index_;
+  /// (node index, peer index) -> egress device, for the named-device lookup.
+  std::unordered_map<std::uint64_t, net::NetDevice*> device_by_edge_;
+};
+
+/// Builds a Scenario from a TopologySpec: validates the spec (typed
+/// TopologyError on malformed input), computes static shortest-path
+/// routes, wires net::Node / NetDevice / PointToPointLink /
+/// tcp::TcpSender / TcpReceiver instances, installs forwarding tables,
+/// attaches Web100 agents, and schedules spec-declared flow starts.
+///
+/// Usable either spec-first (construct with a filled TopologySpec — what
+/// the presets do) or fluently:
+///
+///     auto scenario = ScenarioBuilder{}
+///                         .node("a").node("b")
+///                         .duplex_link("a", "b", net::DataRate::mbps(100),
+///                                      sim::Time::milliseconds(30), 100)
+///                         .flow({.src = "a", .dst = "b"})
+///                         .build(make_reno_factory());
+class ScenarioBuilder {
+ public:
+  /// Estimated pending-event count at which build() auto-selects the
+  /// calendar queue over the binary heap. Derived from the measured
+  /// crossover on bench_micro_substrate (README "Choosing a
+  /// QueueBackend"): a 32-flow dumbbell — 32 flows x (2 timers + 3 links)
+  /// = 160 pending events — is where the calendar starts winning.
+  static constexpr std::size_t kCalendarQueuePendingEvents = 160;
+
+  ScenarioBuilder() = default;
+  explicit ScenarioBuilder(TopologySpec spec) : spec_{std::move(spec)} {}
+
+  ScenarioBuilder& node(std::string name);
+  ScenarioBuilder& link(LinkSpec link);
+  /// Symmetric convenience: same rate/IFQ on both endpoint devices.
+  ScenarioBuilder& duplex_link(std::string a, std::string b, net::DataRate rate,
+                               sim::Time delay, std::size_t ifq_packets);
+  ScenarioBuilder& flow(FlowSpec flow);
+  ScenarioBuilder& seed(std::uint64_t seed);
+  ScenarioBuilder& backend(sim::QueueBackend backend);
+
+  [[nodiscard]] const TopologySpec& spec() const { return spec_; }
+
+  /// The backend build() picks when the spec doesn't pin one.
+  [[nodiscard]] static sim::QueueBackend auto_backend(const TopologySpec& spec,
+                                                      const RouteTable& routes);
+
+  /// Validate and wire. Throws TopologyError on a malformed spec (and on a
+  /// null factory).
+  [[nodiscard]] std::unique_ptr<Scenario> build(const FlowCcFactory& cc_factory) const;
+  [[nodiscard]] std::unique_ptr<Scenario> build(const CcFactory& cc_factory) const {
+    return build(uniform_cc(cc_factory));
+  }
+
+ private:
+  TopologySpec spec_;
+};
+
+}  // namespace rss::scenario

@@ -4,6 +4,16 @@
 
 namespace rss::scenario {
 
+FlowCcFactory striped_cc(std::vector<CcFactory> factories) {
+  if (factories.empty())
+    throw std::invalid_argument("striped_cc: need at least one factory");
+  for (const auto& factory : factories)
+    if (!factory) throw std::invalid_argument("striped_cc: null factory");
+  return [factories = std::move(factories)](std::size_t flow_index) {
+    return factories[flow_index % factories.size()]();
+  };
+}
+
 CcFactory factory_by_name(const std::string& name) {
   if (name == "reno" || name == "standard" || name == "standard-tcp") {
     return make_reno_factory();

@@ -5,7 +5,7 @@
 
 #include "core/highspeed_rss.hpp"
 #include "core/restricted_slow_start.hpp"
-#include "scenario/wan_path.hpp"
+#include "scenario/topology.hpp"
 #include "tcp/highspeed.hpp"
 #include "tcp/limited_slow_start.hpp"
 #include "tcp/reno.hpp"
@@ -13,6 +13,17 @@
 #include "tcp/vegas.hpp"
 
 namespace rss::scenario {
+
+// The factory types themselves live in scenario/topology.hpp with the
+// TopologySpec they parameterize: `CcFactory` (zero-arg, one population)
+// and the unified indexed `FlowCcFactory` (what every builder and preset
+// takes; `uniform_cc` adapts the zero-arg form). This header provides the
+// named factories.
+
+/// Indexed factory from one factory per flow position: flow i gets
+/// factories[i % factories.size()] — two entries make an alternating
+/// mixed population, N entries a striped one.
+[[nodiscard]] FlowCcFactory striped_cc(std::vector<CcFactory> factories);
 
 /// Named congestion-control factories so experiment harnesses can iterate
 /// "variant" as data. These are the three columns of TAB-1.

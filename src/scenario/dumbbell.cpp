@@ -3,104 +3,65 @@
 #include <stdexcept>
 #include <string>
 
-#include "net/queue.hpp"
-
 namespace rss::scenario {
 
-namespace {
-constexpr std::uint32_t kLeftRouterId = 1;
-constexpr std::uint32_t kRightRouterId = 2;
-constexpr std::uint32_t sender_id(std::size_t i) { return 10 + static_cast<std::uint32_t>(i); }
-constexpr std::uint32_t receiver_id(std::size_t i) {
-  return 1000 + static_cast<std::uint32_t>(i);
-}
-}  // namespace
+TopologySpec Dumbbell::make_spec(const Config& config) {
+  TopologySpec spec;
+  spec.seed = config.seed;
+  spec.backend = config.backend;
 
-Dumbbell::Dumbbell(Config config, const PerFlowCcFactory& cc_factory)
-    : cfg_{config},
-      sim_{config.seed,
-           config.backend.value_or(config.flows >= kCalendarQueueFlowThreshold
-                                       ? sim::QueueBackend::kCalendarQueue
-                                       : sim::QueueBackend::kBinaryHeap)} {
-  if (cfg_.flows == 0) throw std::invalid_argument("Dumbbell: need at least one flow");
-  if (!cc_factory) throw std::invalid_argument("Dumbbell: null congestion-control factory");
+  spec.nodes = {"routerL", "routerR"};
+  for (std::size_t i = 0; i < config.flows; ++i) {
+    spec.nodes.push_back("sender" + std::to_string(i));
+    spec.nodes.push_back("receiver" + std::to_string(i));
+  }
 
-  left_router_ = std::make_unique<net::Node>(sim_, kLeftRouterId, "routerL");
-  right_router_ = std::make_unique<net::Node>(sim_, kRightRouterId, "routerR");
+  // Shared bottleneck L <-> R. The router queue is where network
+  // congestion happens in this topology.
+  LinkSpec bottleneck;
+  bottleneck.a = "routerL";
+  bottleneck.b = "routerR";
+  bottleneck.delay = config.bottleneck_delay;
+  bottleneck.a_dev = {config.bottleneck_rate, config.router_queue_packets,
+                      QueueDiscipline::kDropTail, {}, "routerL/bottleneck"};
+  bottleneck.b_dev = {config.bottleneck_rate, config.router_queue_packets,
+                      QueueDiscipline::kDropTail, {}, "routerR/bottleneck"};
+  spec.links.push_back(std::move(bottleneck));
 
-  // Shared bottleneck L -> R (device 0 on both routers). The router queue
-  // is where network congestion happens in this topology.
-  auto& l_bottleneck = left_router_->add_device(
-      cfg_.bottleneck_rate, std::make_unique<net::DropTailQueue>(cfg_.router_queue_packets),
-      "routerL/bottleneck");
-  auto& r_bottleneck = right_router_->add_device(
-      cfg_.bottleneck_rate, std::make_unique<net::DropTailQueue>(cfg_.router_queue_packets),
-      "routerR/bottleneck");
-  bottleneck_dev_ = &l_bottleneck;
-  links_.push_back(std::make_unique<net::PointToPointLink>(sim_, cfg_.bottleneck_delay));
-  links_.back()->attach(l_bottleneck, r_bottleneck);
-
-  for (std::size_t i = 0; i < cfg_.flows; ++i) {
-    auto snode =
-        std::make_unique<net::Node>(sim_, sender_id(i), "sender" + std::to_string(i));
-    auto rnode =
-        std::make_unique<net::Node>(sim_, receiver_id(i), "receiver" + std::to_string(i));
-
+  for (std::size_t i = 0; i < config.flows; ++i) {
     // Sender access: host NIC (finite IFQ: local stalls possible) <-> router L.
-    auto& s_dev = snode->add_device(
-        cfg_.access_rate, std::make_unique<net::DropTailQueue>(cfg_.sender_ifq_packets));
-    auto& l_dev = left_router_->add_device(cfg_.access_rate,
-                                           std::make_unique<net::DropTailQueue>(1000));
-    links_.push_back(std::make_unique<net::PointToPointLink>(sim_, cfg_.access_delay));
-    links_.back()->attach(s_dev, l_dev);
+    LinkSpec access;
+    access.a = "sender" + std::to_string(i);
+    access.b = "routerL";
+    access.delay = config.access_delay;
+    access.a_dev = {config.access_rate, config.sender_ifq_packets};
+    access.b_dev = {config.access_rate, 1000};
+    spec.links.push_back(std::move(access));
 
     // Receiver access: router R <-> receiver NIC.
-    auto& r_dev = right_router_->add_device(cfg_.access_rate,
-                                            std::make_unique<net::DropTailQueue>(1000));
-    auto& d_dev =
-        rnode->add_device(cfg_.access_rate, std::make_unique<net::DropTailQueue>(1000));
-    links_.push_back(std::make_unique<net::PointToPointLink>(sim_, cfg_.access_delay));
-    links_.back()->attach(r_dev, d_dev);
+    LinkSpec egress;
+    egress.a = "routerR";
+    egress.b = "receiver" + std::to_string(i);
+    egress.delay = config.access_delay;
+    egress.a_dev = {config.access_rate, 1000};
+    egress.b_dev = {config.access_rate, 1000};
+    spec.links.push_back(std::move(egress));
 
-    // Routing. Device indices: routers gained one device per flow after the
-    // bottleneck (index 0).
-    const std::size_t l_access_index = left_router_->device_count() - 1;
-    const std::size_t r_access_index = right_router_->device_count() - 1;
-    snode->set_default_route(0);
-    rnode->set_default_route(0);
-    left_router_->set_route(receiver_id(i), 0);             // toward bottleneck
-    left_router_->set_route(sender_id(i), l_access_index);  // ACKs back to sender
-    right_router_->set_route(receiver_id(i), r_access_index);
-    right_router_->set_route(sender_id(i), 0);  // ACKs toward bottleneck (reverse)
-
-    const auto flow_id = static_cast<std::uint32_t>(i + 1);
-    tcp::TcpReceiver::Options rx_opt = cfg_.receiver;
-    rx_opt.flow_id = flow_id;
-    rx_opt.peer_node = sender_id(i);
-    receivers_.push_back(std::make_unique<tcp::TcpReceiver>(sim_, *rnode, rx_opt));
-
-    tcp::TcpSender::Options tx_opt = cfg_.sender;
-    tx_opt.flow_id = flow_id;
-    tx_opt.dst_node = receiver_id(i);
-    tx_opt.mss = cfg_.mss;
-    senders_.push_back(
-        std::make_unique<tcp::TcpSender>(sim_, *snode, s_dev, cc_factory(i), tx_opt));
-
-    sender_nodes_.push_back(std::move(snode));
-    receiver_nodes_.push_back(std::move(rnode));
+    FlowSpec flow;
+    flow.src = "sender" + std::to_string(i);
+    flow.dst = "receiver" + std::to_string(i);
+    flow.sender = config.sender;
+    flow.sender.mss = config.mss;
+    flow.receiver = config.receiver;
+    spec.flows.push_back(std::move(flow));
   }
+  return spec;
 }
 
-void Dumbbell::start_flow(std::size_t i, sim::Time start) {
-  tcp::TcpSender& s = sender(i);
-  sim_.at(start, [&s] { s.set_unlimited(true); });
-}
-
-std::vector<double> Dumbbell::goodputs_mbps(sim::Time t0, sim::Time t1) const {
-  std::vector<double> out;
-  out.reserve(senders_.size());
-  for (const auto& s : senders_) out.push_back(s->goodput_mbps(t0, t1));
-  return out;
+Dumbbell::Dumbbell(Config config, const PerFlowCcFactory& cc_factory) : cfg_{config} {
+  if (cfg_.flows == 0) throw std::invalid_argument("Dumbbell: need at least one flow");
+  if (!cc_factory) throw std::invalid_argument("Dumbbell: null congestion-control factory");
+  scenario_ = ScenarioBuilder{make_spec(cfg_)}.build(cc_factory);
 }
 
 }  // namespace rss::scenario

@@ -6,8 +6,9 @@
 
 #include "net/link.hpp"
 #include "net/node.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/topology.hpp"
 #include "sim/simulation.hpp"
-#include "scenario/wan_path.hpp"
 #include "tcp/tcp_receiver.hpp"
 #include "tcp/tcp_sender.hpp"
 
@@ -25,11 +26,17 @@ namespace rss::scenario {
 /// Per-flow congestion control is chosen by a factory taking the flow
 /// index, so mixed-algorithm populations (e.g. one RSS flow among Renos)
 /// are a one-liner.
+///
+/// A preset over ScenarioBuilder: make_spec() emits the declarative
+/// TopologySpec (EXT-FAIR builds on it directly) and this class is a thin
+/// named-accessor wrapper around the built Scenario.
 class Dumbbell {
  public:
   /// Flow count at which backend auto-selection switches to the calendar
   /// queue — the measured crossover on bench_micro_substrate's host (see
-  /// README "Choosing a QueueBackend").
+  /// README "Choosing a QueueBackend"). Equivalent to the builder's
+  /// generalized ScenarioBuilder::kCalendarQueuePendingEvents threshold:
+  /// each dumbbell flow contributes ~5 pending events (2 timers + 3 hops).
   static constexpr std::size_t kCalendarQueueFlowThreshold = 32;
 
   struct Config {
@@ -53,37 +60,39 @@ class Dumbbell {
     tcp::TcpReceiver::Options receiver{};     ///< ids overwritten per flow
   };
 
-  using PerFlowCcFactory =
-      std::function<std::unique_ptr<tcp::CongestionControl>(std::size_t flow_index)>;
+  /// Unified indexed factory type (kept as an alias for source compat).
+  using PerFlowCcFactory = FlowCcFactory;
+
+  /// The declarative description of this topology; customize it and build
+  /// with ScenarioBuilder directly for variations the Config doesn't cover
+  /// (staggered spec-declared starts, per-flow options, extra links).
+  [[nodiscard]] static TopologySpec make_spec(const Config& config);
 
   Dumbbell(Config config, const PerFlowCcFactory& cc_factory);
 
   /// Start flow `i`'s unbounded bulk transfer at `start`.
-  void start_flow(std::size_t i, sim::Time start);
+  void start_flow(std::size_t i, sim::Time start) { scenario_->start_flow(i, start); }
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] std::size_t flow_count() const { return senders_.size(); }
-  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return *senders_.at(i); }
-  [[nodiscard]] tcp::TcpReceiver& receiver(std::size_t i) { return *receivers_.at(i); }
-  [[nodiscard]] net::Node& left_router() { return *left_router_; }
-  [[nodiscard]] net::Node& right_router() { return *right_router_; }
+  [[nodiscard]] sim::Simulation& simulation() { return scenario_->simulation(); }
+  [[nodiscard]] Scenario& scenario() { return *scenario_; }
+  [[nodiscard]] std::size_t flow_count() const { return scenario_->flow_count(); }
+  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return scenario_->sender(i); }
+  [[nodiscard]] tcp::TcpReceiver& receiver(std::size_t i) { return scenario_->receiver(i); }
+  [[nodiscard]] net::Node& left_router() { return scenario_->node("routerL"); }
+  [[nodiscard]] net::Node& right_router() { return scenario_->node("routerR"); }
   /// The shared bottleneck egress device on the left router.
-  [[nodiscard]] net::NetDevice& bottleneck() { return *bottleneck_dev_; }
+  [[nodiscard]] net::NetDevice& bottleneck() {
+    return scenario_->device("routerL", "routerR");
+  }
 
   /// Per-flow goodput over [t0, t1] (Mbit/s).
-  [[nodiscard]] std::vector<double> goodputs_mbps(sim::Time t0, sim::Time t1) const;
+  [[nodiscard]] std::vector<double> goodputs_mbps(sim::Time t0, sim::Time t1) const {
+    return scenario_->goodputs_mbps(t0, t1);
+  }
 
  private:
   Config cfg_;
-  sim::Simulation sim_;
-  std::vector<std::unique_ptr<net::Node>> sender_nodes_;
-  std::vector<std::unique_ptr<net::Node>> receiver_nodes_;
-  std::unique_ptr<net::Node> left_router_;
-  std::unique_ptr<net::Node> right_router_;
-  net::NetDevice* bottleneck_dev_{nullptr};
-  std::vector<std::unique_ptr<net::PointToPointLink>> links_;
-  std::vector<std::unique_ptr<tcp::TcpSender>> senders_;
-  std::vector<std::unique_ptr<tcp::TcpReceiver>> receivers_;
+  std::unique_ptr<Scenario> scenario_;
 };
 
 }  // namespace rss::scenario

@@ -1,0 +1,196 @@
+#include "scenario/presets.hpp"
+
+#include <stdexcept>
+
+namespace rss::scenario {
+
+namespace {
+
+[[nodiscard]] std::vector<sim::Time> resolve_hop_delays(const std::vector<sim::Time>& given,
+                                                        std::size_t hops,
+                                                        sim::Time fallback,
+                                                        const char* preset) {
+  if (given.empty()) return std::vector<sim::Time>(hops, fallback);
+  if (given.size() != hops)
+    throw std::invalid_argument(std::string{preset} +
+                                ": hop_delays size must match the hop count");
+  return given;
+}
+
+[[nodiscard]] std::string router_name(std::size_t index) {
+  return "r" + std::to_string(index);
+}
+
+}  // namespace
+
+// --- ParkingLot -----------------------------------------------------------
+
+TopologySpec ParkingLot::make_spec(const Config& config) {
+  if (config.hops == 0) throw std::invalid_argument("ParkingLot: need at least one hop");
+  const auto hop_delays = resolve_hop_delays(config.hop_delays, config.hops,
+                                             config.default_hop_delay, "ParkingLot");
+
+  TopologySpec spec;
+  spec.seed = config.seed;
+  spec.backend = config.backend;
+
+  for (std::size_t r = 0; r <= config.hops; ++r) spec.nodes.push_back(router_name(r));
+  spec.nodes.push_back("src");
+  spec.nodes.push_back("dst");
+  for (std::size_t h = 0; h < config.hops; ++h) {
+    for (std::size_t k = 0; k < config.cross_flows_per_hop; ++k) {
+      const std::string suffix = std::to_string(h) + "_" + std::to_string(k);
+      spec.nodes.push_back("xs" + suffix);
+      spec.nodes.push_back("xd" + suffix);
+    }
+  }
+
+  // The chain: hop h runs router h -> router h+1 at the bottleneck rate.
+  for (std::size_t h = 0; h < config.hops; ++h) {
+    LinkSpec hop;
+    hop.a = router_name(h);
+    hop.b = router_name(h + 1);
+    hop.delay = hop_delays[h];
+    hop.a_dev = {config.bottleneck_rate, config.router_queue_packets,
+                 QueueDiscipline::kDropTail, {},
+                 "hop" + std::to_string(h)};
+    hop.b_dev = {config.bottleneck_rate, config.router_queue_packets};
+    spec.links.push_back(std::move(hop));
+  }
+
+  const auto access_link = [&](const std::string& host, const std::string& router) {
+    LinkSpec l;
+    l.a = host;
+    l.b = router;
+    l.delay = config.access_delay;
+    l.a_dev = {config.access_rate, config.sender_ifq_packets};
+    l.b_dev = {config.access_rate, 1000};
+    spec.links.push_back(std::move(l));
+  };
+
+  access_link("src", router_name(0));
+  access_link("dst", router_name(config.hops));
+  for (std::size_t h = 0; h < config.hops; ++h) {
+    for (std::size_t k = 0; k < config.cross_flows_per_hop; ++k) {
+      const std::string suffix = std::to_string(h) + "_" + std::to_string(k);
+      access_link("xs" + suffix, router_name(h));
+      access_link("xd" + suffix, router_name(h + 1));
+    }
+  }
+
+  const auto add_flow = [&](const std::string& src, const std::string& dst) {
+    FlowSpec flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.sender = config.sender;
+    flow.sender.mss = config.mss;
+    flow.receiver = config.receiver;
+    spec.flows.push_back(std::move(flow));
+  };
+
+  add_flow("src", "dst");  // flow 0: end-to-end across every hop
+  for (std::size_t h = 0; h < config.hops; ++h) {
+    for (std::size_t k = 0; k < config.cross_flows_per_hop; ++k) {
+      const std::string suffix = std::to_string(h) + "_" + std::to_string(k);
+      add_flow("xs" + suffix, "xd" + suffix);
+    }
+  }
+  return spec;
+}
+
+ParkingLot::ParkingLot(Config config, const FlowCcFactory& cc_factory)
+    : cfg_{std::move(config)} {
+  if (!cc_factory)
+    throw std::invalid_argument("ParkingLot: null congestion-control factory");
+  scenario_ = ScenarioBuilder{make_spec(cfg_)}.build(cc_factory);
+}
+
+void ParkingLot::start_all(sim::Time start) {
+  for (std::size_t i = 0; i < scenario_->flow_count(); ++i) scenario_->start_flow(i, start);
+}
+
+net::NetDevice& ParkingLot::bottleneck(std::size_t hop) {
+  return scenario_->device(router_name(hop), router_name(hop + 1));
+}
+
+// --- MultiBottleneckChain -------------------------------------------------
+
+TopologySpec MultiBottleneckChain::make_spec(const Config& config) {
+  if (config.hop_rates.empty())
+    throw std::invalid_argument("MultiBottleneckChain: need at least one hop rate");
+  if (config.flows == 0)
+    throw std::invalid_argument("MultiBottleneckChain: need at least one flow");
+  const std::size_t hops = config.hop_rates.size();
+  const auto hop_delays = resolve_hop_delays(config.hop_delays, hops,
+                                             config.default_hop_delay,
+                                             "MultiBottleneckChain");
+
+  TopologySpec spec;
+  spec.seed = config.seed;
+  spec.backend = config.backend;
+
+  for (std::size_t r = 0; r <= hops; ++r) spec.nodes.push_back(router_name(r));
+  for (std::size_t i = 0; i < config.flows; ++i) {
+    spec.nodes.push_back("s" + std::to_string(i));
+    spec.nodes.push_back("d" + std::to_string(i));
+  }
+
+  for (std::size_t h = 0; h < hops; ++h) {
+    LinkSpec hop;
+    hop.a = router_name(h);
+    hop.b = router_name(h + 1);
+    hop.delay = hop_delays[h];
+    hop.a_dev = {config.hop_rates[h], config.router_queue_packets,
+                 QueueDiscipline::kDropTail, {},
+                 "hop" + std::to_string(h)};
+    hop.b_dev = {config.hop_rates[h], config.router_queue_packets};
+    spec.links.push_back(std::move(hop));
+  }
+
+  // Flow i enters the chain at router (i mod hops) and exits at the far
+  // end: staggered entry points give each flow a different hop count and
+  // RTT while the chain tail stays shared.
+  for (std::size_t i = 0; i < config.flows; ++i) {
+    LinkSpec in;
+    in.a = "s" + std::to_string(i);
+    in.b = router_name(i % hops);
+    in.delay = config.access_delay;
+    in.a_dev = {config.access_rate, config.sender_ifq_packets};
+    in.b_dev = {config.access_rate, 1000};
+    spec.links.push_back(std::move(in));
+
+    LinkSpec out;
+    out.a = router_name(hops);
+    out.b = "d" + std::to_string(i);
+    out.delay = config.access_delay;
+    out.a_dev = {config.access_rate, 1000};
+    out.b_dev = {config.access_rate, 1000};
+    spec.links.push_back(std::move(out));
+
+    FlowSpec flow;
+    flow.src = "s" + std::to_string(i);
+    flow.dst = "d" + std::to_string(i);
+    flow.sender = config.sender;
+    flow.sender.mss = config.mss;
+    flow.receiver = config.receiver;
+    spec.flows.push_back(std::move(flow));
+  }
+  return spec;
+}
+
+MultiBottleneckChain::MultiBottleneckChain(Config config, const FlowCcFactory& cc_factory)
+    : cfg_{std::move(config)} {
+  if (!cc_factory)
+    throw std::invalid_argument("MultiBottleneckChain: null congestion-control factory");
+  scenario_ = ScenarioBuilder{make_spec(cfg_)}.build(cc_factory);
+}
+
+net::NetDevice& MultiBottleneckChain::bottleneck(std::size_t hop) {
+  return scenario_->device(router_name(hop), router_name(hop + 1));
+}
+
+std::size_t MultiBottleneckChain::flow_hops(std::size_t i) const {
+  return cfg_.hop_rates.size() - (i % cfg_.hop_rates.size());
+}
+
+}  // namespace rss::scenario

@@ -1,58 +1,45 @@
 #include "scenario/wan_path.hpp"
 
-#include <stdexcept>
-
-#include "net/queue.hpp"
-
 namespace rss::scenario {
 
-namespace {
-constexpr std::uint32_t kSenderNodeId = 1;
-constexpr std::uint32_t kReceiverNodeId = 2;
-}  // namespace
+TopologySpec WanPath::make_spec(const Config& config) {
+  TopologySpec spec;
+  spec.seed = config.seed;
+  spec.backend = config.backend;
+  spec.nodes = {"sender", "receiver"};
 
-WanPath::WanPath(Config config, const CcFactory& cc_factory)
-    : cfg_{config}, sim_{config.seed, config.backend} {
-  if (!cc_factory) throw std::invalid_argument("WanPath: null congestion-control factory");
+  LinkSpec wan;
+  wan.a = "sender";
+  wan.b = "receiver";
+  wan.delay = config.path.one_way_delay;
+  wan.a_dev.rate = config.path.nic_rate;
+  wan.a_dev.ifq_packets = config.path.ifq_capacity_packets;
+  wan.a_dev.name = "sender/nic";
+  wan.b_dev.rate = config.path.wan_rate;
+  wan.b_dev.ifq_packets = config.receiver_ifq_packets;
+  wan.b_dev.name = "receiver/nic";
+  spec.links.push_back(std::move(wan));
 
-  sender_node_ = std::make_unique<net::Node>(sim_, kSenderNodeId, "sender");
-  receiver_node_ = std::make_unique<net::Node>(sim_, kReceiverNodeId, "receiver");
-
-  nic_ = &sender_node_->add_device(
-      cfg_.path.nic_rate,
-      std::make_unique<net::DropTailQueue>(cfg_.path.ifq_capacity_packets), "sender/nic");
-  auto& rx_dev = receiver_node_->add_device(
-      cfg_.path.wan_rate, std::make_unique<net::DropTailQueue>(cfg_.receiver_ifq_packets),
-      "receiver/nic");
-
-  link_ = std::make_unique<net::PointToPointLink>(sim_, cfg_.path.one_way_delay);
-  link_->attach(*nic_, rx_dev);
-
-  sender_node_->set_route(kReceiverNodeId, 0);
-  receiver_node_->set_route(kSenderNodeId, 0);
-
-  tcp::TcpReceiver::Options rx_opt = cfg_.receiver;
-  rx_opt.flow_id = cfg_.flow_id;
-  rx_opt.peer_node = kSenderNodeId;
-  receiver_ = std::make_unique<tcp::TcpReceiver>(sim_, *receiver_node_, rx_opt);
-
-  tcp::TcpSender::Options tx_opt = cfg_.sender;
-  tx_opt.flow_id = cfg_.flow_id;
-  tx_opt.dst_node = kReceiverNodeId;
-  tx_opt.mss = cfg_.path.mss;
-  sender_ = std::make_unique<tcp::TcpSender>(sim_, *sender_node_, *nic_, cc_factory(), tx_opt);
-
-  if (cfg_.enable_web100) {
-    agent_ = std::make_unique<web100::PollingAgent>(
-        sim_, [this]() -> const web100::Mib& { return sender_->mib(); },
-        cfg_.web100_poll_period);
-    agent_->start();
-  }
+  FlowSpec flow;
+  flow.src = "sender";
+  flow.dst = "receiver";
+  flow.flow_id = config.flow_id;
+  flow.sender = config.sender;
+  flow.sender.mss = config.path.mss;
+  flow.receiver = config.receiver;
+  flow.web100 = config.enable_web100;
+  flow.web100_poll_period = config.web100_poll_period;
+  spec.flows.push_back(std::move(flow));
+  return spec;
 }
 
+WanPath::WanPath(Config config, const CcFactory& cc_factory)
+    : cfg_{config},
+      scenario_{ScenarioBuilder{make_spec(config)}.build(uniform_cc(cc_factory))} {}
+
 void WanPath::run_bulk_transfer(sim::Time start, sim::Time until) {
-  sim_.at(start, [this] { sender_->set_unlimited(true); });
-  sim_.run_until(until);
+  scenario_->start_flow(0, start);
+  scenario_->run_until(until);
 }
 
 }  // namespace rss::scenario

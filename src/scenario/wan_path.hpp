@@ -1,11 +1,12 @@
 #pragma once
 
-#include <functional>
 #include <memory>
 
 #include "core/config.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
+#include "scenario/builder.hpp"
+#include "scenario/topology.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/congestion_control.hpp"
 #include "tcp/tcp_receiver.hpp"
@@ -13,9 +14,6 @@
 #include "web100/polling_agent.hpp"
 
 namespace rss::scenario {
-
-/// Factory for the congestion-control algorithm under test.
-using CcFactory = std::function<std::unique_ptr<tcp::CongestionControl>()>;
 
 /// The paper's testbed in a box (§4): a host whose 100 Mbps NIC (with a
 /// 100-packet interface queue) is the path bottleneck, talking across a
@@ -26,6 +24,10 @@ using CcFactory = std::function<std::unique_ptr<tcp::CongestionControl>()>;
 ///
 /// The sender NIC is where send-stalls happen; everything the paper
 /// measures is observable through `sender().mib()` and `agent()`.
+///
+/// A preset over ScenarioBuilder: make_spec() emits the declarative
+/// TopologySpec and this class is a thin named-accessor wrapper around the
+/// built Scenario.
 class WanPath {
  public:
   struct Config {
@@ -46,39 +48,39 @@ class WanPath {
     tcp::TcpSender::Options sender{};      ///< flow/dst/mss are overwritten
   };
 
+  /// The declarative description of this topology; customize it and build
+  /// with ScenarioBuilder directly for variations the Config doesn't cover.
+  [[nodiscard]] static TopologySpec make_spec(const Config& config);
+
   WanPath(Config config, const CcFactory& cc_factory);
 
   /// Start an unbounded bulk transfer at `start` and run until `until`.
   void run_bulk_transfer(sim::Time start, sim::Time until);
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] tcp::TcpSender& sender() { return *sender_; }
-  [[nodiscard]] const tcp::TcpSender& sender() const { return *sender_; }
-  [[nodiscard]] tcp::TcpReceiver& receiver() { return *receiver_; }
-  [[nodiscard]] net::Node& sender_node() { return *sender_node_; }
-  [[nodiscard]] net::Node& receiver_node() { return *receiver_node_; }
+  [[nodiscard]] sim::Simulation& simulation() { return scenario_->simulation(); }
+  [[nodiscard]] Scenario& scenario() { return *scenario_; }
+  [[nodiscard]] tcp::TcpSender& sender() { return scenario_->sender(0); }
+  [[nodiscard]] const tcp::TcpSender& sender() const { return scenario_->sender(0); }
+  [[nodiscard]] tcp::TcpReceiver& receiver() { return scenario_->receiver(0); }
+  [[nodiscard]] net::Node& sender_node() { return scenario_->node("sender"); }
+  [[nodiscard]] net::Node& receiver_node() { return scenario_->node("receiver"); }
   /// The bottleneck NIC whose IFQ the paper's controller watches.
-  [[nodiscard]] net::NetDevice& nic() { return *nic_; }
-  [[nodiscard]] const net::NetDevice& nic() const { return *nic_; }
-  [[nodiscard]] web100::PollingAgent* agent() { return agent_.get(); }
+  [[nodiscard]] net::NetDevice& nic() { return scenario_->device("sender", "receiver"); }
+  [[nodiscard]] const net::NetDevice& nic() const {
+    return scenario_->device("sender", "receiver");
+  }
+  [[nodiscard]] web100::PollingAgent* agent() { return scenario_->agent(0); }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
   /// Throughput of the measured flow over [t0, t1] in Mbit/s, from
   /// cumulatively acknowledged bytes.
   [[nodiscard]] double goodput_mbps(sim::Time t0, sim::Time t1) const {
-    return sender_->goodput_mbps(t0, t1);
+    return scenario_->sender(0).goodput_mbps(t0, t1);
   }
 
  private:
   Config cfg_;
-  sim::Simulation sim_;
-  std::unique_ptr<net::Node> sender_node_;
-  std::unique_ptr<net::Node> receiver_node_;
-  net::NetDevice* nic_{nullptr};
-  std::unique_ptr<net::PointToPointLink> link_;
-  std::unique_ptr<tcp::TcpReceiver> receiver_;
-  std::unique_ptr<tcp::TcpSender> sender_;
-  std::unique_ptr<web100::PollingAgent> agent_;
+  std::unique_ptr<Scenario> scenario_;
 };
 
 }  // namespace rss::scenario
