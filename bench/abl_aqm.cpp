@@ -1,4 +1,5 @@
-// ABL-AQM — router queue-discipline ablation: tail-drop vs RED, orthogonality to RSS's host-side fix.
+// ABL-AQM — router queue-discipline ablation: tail-drop vs RED,
+// orthogonality to RSS's host-side fix.
 //
 // The experiment itself lives in src/artifacts/experiments/abl_aqm.cpp and
 // is shared with the rss_artifacts driver (--run/--write-goldens/--check);

@@ -1,4 +1,5 @@
-// FIG-1 — Figure 1 of the paper: cumulative send-stall signals vs time, standard Linux TCP vs Restricted Slow-Start on the ANL<->LBNL path.
+// FIG-1 — Figure 1 of the paper: cumulative send-stall signals vs time,
+// standard Linux TCP vs Restricted Slow-Start on the ANL<->LBNL path.
 //
 // The experiment itself lives in src/artifacts/experiments/fig1_send_stalls.cpp and
 // is shared with the rss_artifacts driver (--run/--write-goldens/--check);

@@ -168,7 +168,9 @@ BENCHMARK(BM_FullWanSimulation)->Arg(0)->Arg(1)->ArgName("calendar")->Unit(bench
 struct SmokeResult {
   std::uint64_t events{0};
   double seconds{0.0};
-  [[nodiscard]] double events_per_sec() const { return seconds > 0 ? static_cast<double>(events) / seconds : 0.0; }
+  [[nodiscard]] double events_per_sec() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+  }
 };
 
 /// Repeat 1-simulated-second packet-dense WAN runs until the wall budget is

@@ -1,4 +1,5 @@
-// TAB-1 — the paper's §4 headline result: bulk-transfer throughput by congestion-control variant.
+// TAB-1 — the paper's §4 headline result: bulk-transfer throughput by
+// congestion-control variant.
 //
 // The experiment itself lives in src/artifacts/experiments/tab1_throughput.cpp and
 // is shared with the rss_artifacts driver (--run/--write-goldens/--check);

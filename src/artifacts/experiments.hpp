@@ -20,6 +20,7 @@ namespace rss::artifacts {
 [[nodiscard]] Experiment make_ext_fairness_experiment();
 [[nodiscard]] Experiment make_ext_parkinglot_experiment();
 [[nodiscard]] Experiment make_ext_sack_experiment();
+[[nodiscard]] Experiment make_ext_specdriven_experiment();
 [[nodiscard]] Experiment make_ext_tuning_experiment();
 [[nodiscard]] Experiment make_ext_variants_experiment();
 

@@ -15,6 +15,7 @@ void register_builtin_experiments(ExperimentRegistry& registry) {
   registry.add(make_ext_fairness_experiment());
   registry.add(make_ext_parkinglot_experiment());
   registry.add(make_ext_sack_experiment());
+  registry.add(make_ext_specdriven_experiment());
   registry.add(make_ext_tuning_experiment());
   registry.add(make_ext_variants_experiment());
 }

@@ -15,8 +15,8 @@ void CsvWriter::sep_if_needed() {
 
 CsvWriter& CsvWriter::field(std::string_view s) {
   sep_if_needed();
-  const bool needs_quote =
-      s.find_first_of(",\"\n\r") != std::string_view::npos || s.find(sep_) != std::string_view::npos;
+  const bool needs_quote = s.find_first_of(",\"\n\r") != std::string_view::npos ||
+                           s.find(sep_) != std::string_view::npos;
   if (!needs_quote) {
     os_ << s;
   } else {

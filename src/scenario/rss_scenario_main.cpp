@@ -1,0 +1,10 @@
+// rss_scenario — file-driven scenario studies: validate JSON scenario
+// specs, expand their parameter sweeps, build and run every point through
+// ScenarioBuilder/parallel_sweep, and emit result tables as CSV — no
+// recompile between studies. CI runs `--validate specs/*.json` and
+// `--roundtrip` (preset emit -> parse -> rebuild parity) as the
+// spec-conformance gate.
+
+#include "scenario/spec_cli.hpp"
+
+int main(int argc, char** argv) { return rss::scenario::spec::scenario_main(argc, argv); }

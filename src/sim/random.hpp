@@ -50,8 +50,8 @@ class Rng {
   std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
     const std::uint64_t span = hi - lo + 1;
     if (span == 0) return next_u64();  // full range requested
-    const std::uint64_t limit =
-        std::numeric_limits<std::uint64_t>::max() - std::numeric_limits<std::uint64_t>::max() % span;
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    const std::uint64_t limit = kMax - kMax % span;
     std::uint64_t v = next_u64();
     while (v >= limit) v = next_u64();
     return lo + v % span;

@@ -77,9 +77,9 @@ void TcpSender::maybe_send() {
     const std::uint64_t flight = flight_size_bytes();
     if (flight >= wnd) break;
 
-    const std::uint64_t unsent = unlimited_
-                                     ? std::numeric_limits<std::uint64_t>::max()
-                                     : (app_offset_ > sent_offset_ ? app_offset_ - sent_offset_ : 0);
+    const std::uint64_t unsent =
+        unlimited_ ? std::numeric_limits<std::uint64_t>::max()
+                   : (app_offset_ > sent_offset_ ? app_offset_ - sent_offset_ : 0);
     if (unsent == 0) break;
 
     const auto len =
