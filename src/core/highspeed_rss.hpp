@@ -1,5 +1,9 @@
 #pragma once
 
+#include <string_view>
+
+#include <cstdint>
+
 #include "core/restricted_slow_start.hpp"
 #include "tcp/highspeed.hpp"
 

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "control/pid.hpp"
 #include "sim/time.hpp"

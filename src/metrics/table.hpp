@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace rss::metrics {
@@ -14,19 +15,24 @@ namespace rss::metrics {
 /// human-readable, and the quantization error (~1e-10 relative) is far
 /// below any tolerance the artifact differ uses.
 struct Cell {
-  Cell(std::string s) : text{std::move(s)} {}
-  Cell(std::string_view s) : text{s} {}
-  Cell(const char* s) : text{s} {}
-  Cell(double v);
-  Cell(long long v);
-  Cell(unsigned long long v);
+  // Implicit conversion is the API: rows are written as mixed-type braced
+  // lists (`t.add_row({"reno", 3, 1.5})`), which is why every converting
+  // constructor below carries a google-explicit-constructor NOLINT.
+  Cell(std::string s) : text{std::move(s)} {}  // NOLINT(google-explicit-constructor)
+  Cell(std::string_view s) : text{s} {}        // NOLINT(google-explicit-constructor)
+  Cell(const char* s) : text{s} {}             // NOLINT(google-explicit-constructor)
+  Cell(double v);                              // NOLINT(google-explicit-constructor)
+  Cell(long long v);                           // NOLINT(google-explicit-constructor)
+  Cell(unsigned long long v);                  // NOLINT(google-explicit-constructor)
   // One overload per distinct standard integer type (std::size_t and the
   // other aliases resolve to one of these on every platform; naming size_t
   // directly would redeclare a constructor on LLP64/ILP32).
+  // NOLINTBEGIN(google-explicit-constructor)
   Cell(int v) : Cell{static_cast<long long>(v)} {}
   Cell(long v) : Cell{static_cast<long long>(v)} {}
   Cell(unsigned v) : Cell{static_cast<unsigned long long>(v)} {}
   Cell(unsigned long v) : Cell{static_cast<unsigned long long>(v)} {}
+  // NOLINTEND(google-explicit-constructor)
 
   /// Re-classify a parsed CSV field: numeric iff the whole field parses as
   /// a finite-or-nan double.

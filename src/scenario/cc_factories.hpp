@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/highspeed_rss.hpp"
 #include "core/restricted_slow_start.hpp"

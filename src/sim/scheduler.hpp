@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "sim/calendar_queue.hpp"

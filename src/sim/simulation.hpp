@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"

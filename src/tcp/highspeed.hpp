@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string_view>
 
 #include "tcp/reno.hpp"
 

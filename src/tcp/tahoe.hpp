@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string_view>
+
 #include "tcp/reno.hpp"
 
 namespace rss::tcp {

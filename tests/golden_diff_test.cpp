@@ -161,6 +161,93 @@ TEST(TableCsv, AddRowArityChecked) {
   EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
 }
 
+// --- Tolerance edge cases: the differ's acceptance band is
+// --- |fresh - golden| <= max(abs, rel * |golden|). Each boundary below is
+// --- load-bearing for the determinism gate and locked explicitly.
+
+TEST(GoldenDiff, DeviationExactlyAtAbsToleranceBoundaryPasses) {
+  const auto g = make_table({"x"}, {{10.0}});
+  const auto f = make_table({"x"}, {{10.5}});
+  Tolerances at_boundary;
+  at_boundary.fallback = ColumnTolerance{0.5, 0.0};
+  EXPECT_TRUE(diff_tables(g, f, at_boundary).ok());  // <=, not <
+  Tolerances just_under;
+  just_under.fallback = ColumnTolerance{0.5 - 1e-9, 0.0};
+  EXPECT_FALSE(diff_tables(g, f, just_under).ok());
+}
+
+TEST(GoldenDiff, RelativeToleranceIsMeasuredAgainstGoldenNotFresh) {
+  // rel * |golden| — with golden 100 and rel 10%, fresh 110 passes, and the
+  // band does NOT widen when fresh is enormous.
+  const auto g = make_table({"x"}, {{100.0}});
+  Tolerances rel10;
+  rel10.fallback = ColumnTolerance{0.0, 0.10};
+  EXPECT_TRUE(diff_tables(g, make_table({"x"}, {{110.0}}), rel10).ok());
+  EXPECT_FALSE(diff_tables(g, make_table({"x"}, {{111.0}}), rel10).ok());
+  EXPECT_FALSE(diff_tables(g, make_table({"x"}, {{1000.0}}), rel10).ok());
+}
+
+TEST(GoldenDiff, RelativeToleranceAroundGoldenZeroIsExact) {
+  // rel * |0| == 0: a purely relative tolerance cannot absorb any drift at
+  // golden 0 — a zero-stall column must stay exactly zero unless abs > 0.
+  const auto g = make_table({"stalls"}, {{0.0}});
+  const auto f = make_table({"stalls"}, {{1e-9}});
+  Tolerances rel_only;
+  rel_only.fallback = ColumnTolerance{0.0, 0.5};
+  EXPECT_FALSE(diff_tables(g, f, rel_only).ok());
+  Tolerances with_abs;
+  with_abs.fallback = ColumnTolerance{1e-8, 0.5};
+  EXPECT_TRUE(diff_tables(g, f, with_abs).ok());
+}
+
+TEST(GoldenDiff, NegativeGoldenUsesAbsoluteMagnitudeForRel) {
+  const auto g = make_table({"x"}, {{-100.0}});
+  Tolerances rel10;
+  rel10.fallback = ColumnTolerance{0.0, 0.10};
+  EXPECT_TRUE(diff_tables(g, make_table({"x"}, {{-92.0}}), rel10).ok());
+  EXPECT_FALSE(diff_tables(g, make_table({"x"}, {{-89.0}}), rel10).ok());
+}
+
+TEST(GoldenDiff, AbsAndRelCombineAsMaxNotSum) {
+  const auto g = make_table({"x"}, {{10.0}});
+  const auto f = make_table({"x"}, {{11.5}});  // drift 1.5
+  Tolerances t;
+  t.fallback = ColumnTolerance{1.0, 0.10};  // max(1.0, 1.0) = 1.0 < 1.5
+  EXPECT_FALSE(diff_tables(g, f, t).ok());
+  t.fallback = ColumnTolerance{1.0, 0.15};  // max(1.0, 1.5) = 1.5 >= 1.5
+  EXPECT_TRUE(diff_tables(g, f, t).ok());
+}
+
+TEST(GoldenDiff, InfinityMatchesOnlySameSignedInfinity) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Tolerances loose;
+  loose.fallback = ColumnTolerance{1e9, 1.0};  // tolerance cannot rescue inf
+  EXPECT_TRUE(diff_tables(make_table({"x"}, {{kInf}}), make_table({"x"}, {{kInf}}), loose).ok());
+  EXPECT_FALSE(
+      diff_tables(make_table({"x"}, {{kInf}}), make_table({"x"}, {{-kInf}}), loose).ok());
+  EXPECT_FALSE(diff_tables(make_table({"x"}, {{kInf}}), make_table({"x"}, {{1e12}}), loose).ok());
+}
+
+TEST(GoldenDiff, NanNeverMatchesANumberEvenWithLooseTolerance) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  Tolerances loose;
+  loose.fallback = ColumnTolerance{1e9, 1e9};
+  EXPECT_FALSE(diff_tables(make_table({"x"}, {{kNan}}), make_table({"x"}, {{0.0}}), loose).ok());
+  EXPECT_FALSE(diff_tables(make_table({"x"}, {{0.0}}), make_table({"x"}, {{kNan}}), loose).ok());
+}
+
+TEST(GoldenDiff, NumericTextMismatchFallsBackToExactTextComparison) {
+  // A numeric golden against a non-numeric fresh cell (or vice versa) is a
+  // text comparison: tolerances must not apply.
+  const auto g = make_table({"x"}, {{1.0}});
+  const auto f = make_table({"x"}, {{"not-a-number"}});
+  Tolerances loose;
+  loose.fallback = ColumnTolerance{1e9, 1e9};
+  const auto d = diff_tables(g, f, loose);
+  EXPECT_FALSE(d.ok());
+  EXPECT_TRUE(has_error_containing(d, "not-a-number"));
+}
+
 TEST(Tolerances, ForColumnFallsBack) {
   Tolerances tol;
   tol.fallback = {1.0, 2.0};

@@ -79,5 +79,57 @@ TEST(HistogramTest, QuantileClampedToExtremesInOutlierBuckets) {
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 50.0);
 }
 
+// --- Degenerate inputs: the shapes lint-adjacent tooling (summary columns
+// --- in artifact tables, the stall-duration histograms) actually produces
+// --- when a run has zero, one, or all-identical samples.
+
+TEST(HistogramTest, EmptyHistogramReportsZerosEverywhere) {
+  const auto h = Histogram::linear(0.0, 1.0, 4);
+  EXPECT_EQ(h.total_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  for (const double q : {0.0, 0.25, 0.5, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleEveryQuantileIsThatSample) {
+  auto h = Histogram::linear(0.0, 100.0, 10);
+  h.add(37.25);
+  EXPECT_EQ(h.total_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 37.25);
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 37.25) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, AllEqualSamplesCollapseToTheValue) {
+  auto h = Histogram::linear(0.0, 100.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 42.0);
+  // Interpolation within the containing bucket is clamped to the observed
+  // extremes, so identical samples must never smear across the bucket.
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SingleSampleOnBucketBoundaryLandsInUpperBucket) {
+  auto h = Histogram::linear(0.0, 10.0, 2);  // buckets [0,5), [5,10)
+  h.add(5.0);
+  // counts_: [under, [0,5), [5,10), over]
+  EXPECT_EQ(h.counts()[1], 0u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(HistogramTest, QuantileArgumentIsClampedNotRejected) {
+  auto h = Histogram::linear(0.0, 10.0, 2);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+}
+
 }  // namespace
 }  // namespace rss::metrics

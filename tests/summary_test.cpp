@@ -96,5 +96,66 @@ TEST(AccumulatorTest, VarianceOfFewSamples) {
   EXPECT_DOUBLE_EQ(acc.variance(), 0.0);  // n=1: undefined -> 0
 }
 
+// --- Degenerate inputs: empty / single-sample / all-equal, locked because
+// --- replicate-count studies routinely produce them (a sweep point with one
+// --- replicate, a stall column that is identically zero).
+
+TEST(SummaryTest, EmptyInputQuantilesAndExtremesAreZero) {
+  const auto s = summarize({});
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p25, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.p75, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+}
+
+TEST(SummaryTest, SingleValueAllQuantilesEqualIt) {
+  const std::array<double, 1> v{-2.5};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.p25, -2.5);
+  EXPECT_DOUBLE_EQ(s.p75, -2.5);
+  EXPECT_DOUBLE_EQ(s.p95, -2.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummaryTest, AllEqualValuesHaveZeroSpread) {
+  const std::vector<double> v(257, 6.5);
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 257u);
+  EXPECT_DOUBLE_EQ(s.mean, 6.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 6.5);
+  EXPECT_DOUBLE_EQ(s.max, 6.5);
+  EXPECT_DOUBLE_EQ(s.p25, 6.5);
+  EXPECT_DOUBLE_EQ(s.median, 6.5);
+  EXPECT_DOUBLE_EQ(s.p95, 6.5);
+}
+
+TEST(QuantileSortedTest, SingleElementAndExtremeQs) {
+  const std::array<double, 1> one{9.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.0), 9.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 0.5), 9.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(one, 1.0), 9.0);
+  const std::array<double, 3> three{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(three, 0.0), 1.0);   // exactly min
+  EXPECT_DOUBLE_EQ(quantile_sorted(three, 1.0), 3.0);   // exactly max
+  EXPECT_DOUBLE_EQ(quantile_sorted(three, -1.0), 1.0);  // clamped, not rejected
+  EXPECT_DOUBLE_EQ(quantile_sorted(three, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);  // empty -> 0 by contract
+}
+
+TEST(AccumulatorTest, AllEqualStreamHasZeroVariance) {
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(3.25);
+  EXPECT_EQ(acc.count(), 1000u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.25);
+  // Welford's update must not accumulate rounding residue on a constant
+  // stream — exact zero, not merely small.
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.25);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.25);
+}
+
 }  // namespace
 }  // namespace rss::metrics
