@@ -83,12 +83,24 @@ def strip_cpp(text: str) -> str:
             seg = text[i : j + len(closer)]
             out.append("".join(ch if ch == "\n" else " " for ch in seg))
             i = j + len(closer)
+        elif (
+            c == "'"
+            and i > 0
+            and text[i - 1] in "0123456789abcdefABCDEF'"
+            and (nxt.isalnum() or nxt == "_")
+        ):
+            # C++14 digit separator (1'000'000, 0xFF'FF), not a char literal:
+            # treating it as an opener would blank real code up to the next
+            # apostrophe and corrupt line numbers.
+            out.append(c)
+            i += 1
         elif c in "\"'":  # string / char literal
             quote = c
             j = i + 1
             while j < n and text[j] != quote:
                 j += 2 if text[j] == "\\" else 1
-            out.append(quote + " " * (j - i - 1) + quote)
+            seg = text[i + 1 : j]
+            out.append(quote + "".join(ch if ch == "\n" else " " for ch in seg) + quote)
             i = j + 1
         else:
             out.append(c)
@@ -225,9 +237,11 @@ HOTPATH_BANNED = [
     (re.compile(r"std::(?:make_shared|make_unique)\b"), "heap-allocating factory"),
     (re.compile(r"std::(?:shared|unique|weak)_ptr\b"), "smart pointer"),
     # `::new (addr)` placement-new into InlineCallback storage is the one
-    # sanctioned spelling; anything else is a heap allocation.
+    # sanctioned spelling; anything else — including a qualified `::new T`
+    # without a placement-address argument — is a heap allocation.
     (re.compile(r"(?<!:)\bnew\b(?!\s*\()"), "non-placement operator new"),
     (re.compile(r"(?<!:)\bnew\s*\("), "unqualified new; spell placement new as ::new(addr)"),
+    (re.compile(r"::\s*new\b(?!\s*\()"), "::new without a placement address (heap allocation)"),
 ]
 
 
@@ -296,9 +310,13 @@ def rule_header_hygiene(root: Path):
     for path in sorted((root / "src").rglob("*.hpp")):
         raw = path.read_text()
         rel = path.relative_to(root)
+        stripped = strip_cpp(raw)
 
-        first_directives = [ln.strip() for ln in raw.splitlines() if ln.strip()][:3]
-        if "#pragma once" not in first_directives:
+        # Comments are stripped first so a leading license/doc block of any
+        # length never hides (or stands in for) the guard: the first line of
+        # actual code must be `#pragma once`.
+        first_code = next((ln.strip() for ln in stripped.splitlines() if ln.strip()), "")
+        if first_code != "#pragma once":
             findings.append(
                 Finding(rel, 1, "header-hygiene", "public header must open with #pragma once")
             )
@@ -314,7 +332,6 @@ def rule_header_hygiene(root: Path):
             )
 
         includes = set(INCLUDE_RE.findall(raw))
-        stripped = strip_cpp(raw)
         for pattern, providers in SELF_CONTAINMENT:
             if any(p in includes for p in providers):
                 continue
