@@ -210,6 +210,36 @@ SmokeResult smoke_parkinglot(sim::QueueBackend backend, double budget_seconds) {
   return r;
 }
 
+/// The partitioned-execution leg: an N-dumbbell ScaleMesh run under the
+/// unified ExecutionPolicy, once with "partitions": 1 and once with
+/// "partitions": 4 (threads auto — worker threads where the hardware has
+/// them, the inline single-worker round loop where it doesn't). The two
+/// runs execute the identical spec and the identical event count (parity
+/// is a tested invariant), so events/sec isolates what partitioning buys:
+/// four small per-partition queues instead of one large one, per-partition
+/// backend auto-selection, window-sized working sets, and — on multicore —
+/// actual parallelism. bench_scale regressions therefore catch both engine
+/// slowdowns and partitioning-quality losses.
+SmokeResult smoke_scale(std::size_t partitions, double budget_seconds) {
+  SmokeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (r.seconds < budget_seconds) {
+    scenario::ScaleMesh::Config cfg;
+    cfg.segments = 4;
+    cfg.flows_per_segment = 25;
+    cfg.cross_flows_per_segment = 5;
+    scenario::TopologySpec spec = scenario::ScaleMesh::make_spec(cfg);
+    spec.execution.partitions = partitions;
+    auto s = scenario::ScenarioBuilder{spec}.build(scenario::make_reno_factory());
+    for (std::size_t i = 0; i < spec.flows.size(); ++i)
+      s->start_flow(i, sim::Time::zero());
+    s->run_until(1_s);
+    r.events += s->events_executed();
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  return r;
+}
+
 /// Pure scheduler churn: the schedule/cancel/reschedule storm of the
 /// per-ACK RTO path, plus trains, with no protocol work diluting it.
 SmokeResult smoke_churn(sim::QueueBackend backend, double budget_seconds) {
@@ -262,6 +292,17 @@ int run_smoke(const std::vector<std::string>& args) {
     rows.push_back({"wan_path_packet_dense", name, smoke_wan(backend, budget)});
     rows.push_back({"parking_lot_3hop", name, smoke_parkinglot(backend, budget)});
     rows.push_back({"scheduler_churn", name, smoke_churn(backend, budget)});
+  }
+  // bench_scale: the partitioned engine on the ScaleMesh preset shape. The
+  // "backend" column carries the partition count — the queue backend itself
+  // is the ExecutionPolicy's auto choice, which is part of what's measured.
+  rows.push_back({"scale_mesh", "partitions_1", smoke_scale(1, budget)});
+  rows.push_back({"scale_mesh", "partitions_4", smoke_scale(4, budget)});
+  const double serial = rows[rows.size() - 2].result.events_per_sec();
+  const double parted = rows.back().result.events_per_sec();
+  if (serial > 0) {
+    std::cout << "scale_mesh partitions_4 / partitions_1 speedup: "
+              << parted / serial << "x\n";
   }
 
   std::ofstream out{out_path};

@@ -24,8 +24,10 @@ Rules
                       is hash-seed- and libstdc++-version-dependent, which
                       is exactly how a golden goes flaky.
   hotpath-alloc       The scheduler hot path (scheduler.{hpp,cpp},
-                      event_entry.hpp, inline_callback.hpp) must not use
-                      std::function, smart pointers, or non-placement new.
+                      event_entry.hpp, inline_callback.hpp) and the
+                      partitioned window loop (partition.{hpp,cpp},
+                      cross_link.{hpp,cpp}) must not use std::function,
+                      smart pointers, or non-placement new.
                       PR 3 made the schedule/cancel/reschedule loop
                       allocation-free; tests/alloc_guard_test.cpp checks
                       the runtime half of that claim, this rule the static
@@ -231,6 +233,14 @@ HOTPATH_FILES = (
     "src/sim/scheduler.cpp",
     "src/sim/event_entry.hpp",
     "src/sim/inline_callback.hpp",
+    # The partitioned window loop (stage -> publish -> drain -> deliver) is
+    # part of the steady-state hot path: alloc_guard_test asserts a warm
+    # window round performs zero allocations, so the same constructs are
+    # banned here.
+    "src/sim/partition.hpp",
+    "src/sim/partition.cpp",
+    "src/net/cross_link.hpp",
+    "src/net/cross_link.cpp",
 )
 HOTPATH_BANNED = [
     (re.compile(r"std::function\b"), "std::function (type-erased heap closure)"),

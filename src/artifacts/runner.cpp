@@ -9,6 +9,7 @@
 #include "artifacts/experiments.hpp"
 #include "artifacts/golden.hpp"
 #include "artifacts/registry.hpp"
+#include "scenario/exec_flags.hpp"
 
 namespace rss::artifacts {
 
@@ -34,10 +35,11 @@ int usage(const char* argv0) {
                "options:\n"
                "  --goldens <dir>   golden directory (default: the source tree's\n"
                "                    artifacts/goldens, falling back to ./artifacts/goldens)\n"
+               "%s"
                "\n"
                "--write-goldens and --check default to every registered experiment;\n"
                "name specific experiments to restrict them.\n",
-               argv0);
+               argv0, scenario::ExecFlags::help());
   return 2;
 }
 
@@ -170,9 +172,18 @@ int artifacts_main(int argc, char** argv, std::string default_goldens_dir) {
   enum class Command { kNone, kList, kRun, kWriteGoldens, kCheck };
   Command cmd = Command::kNone;
   std::string goldens_dir;
+  scenario::ExecFlags exec;
   std::vector<std::string> names;
 
   for (int i = 1; i < argc; ++i) {
+    switch (exec.parse(argc, argv, i)) {
+      case scenario::ExecFlags::Parse::kConsumed:
+        continue;
+      case scenario::ExecFlags::Parse::kError:
+        return 2;
+      case scenario::ExecFlags::Parse::kNotMine:
+        break;
+    }
     const std::string_view arg = argv[i];
     if (arg == "--list") {
       cmd = Command::kList;
@@ -199,6 +210,10 @@ int artifacts_main(int argc, char** argv, std::string default_goldens_dir) {
     }
   }
   if (cmd == Command::kNone) return usage(argv[0]);
+  // Same flag surface as rss_scenario: install the execution flags as the
+  // process-wide defaults so every experiment's internal sweeps and
+  // partitioned builds draw on one thread budget.
+  if (!exec.install()) return 2;
 
   if (goldens_dir.empty()) {
     // The build embeds <source-tree>/artifacts/goldens; use it as long as

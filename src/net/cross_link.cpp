@@ -1,0 +1,87 @@
+#include "net/cross_link.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/device.hpp"
+
+namespace rss::net {
+
+CrossPartitionLink::CrossPartitionLink(sim::Simulation& sim_a, sim::Simulation& sim_b,
+                                       sim::Time delay, sim::HandoffChannel& a_to_b,
+                                       sim::HandoffChannel& b_to_a)
+    : PointToPointLink(sim_a, delay) {
+  if (delay < sim::Time::nanoseconds(1))
+    throw std::invalid_argument(
+        "CrossPartitionLink: a cross-partition link needs nonzero latency (it bounds the "
+        "conservative lookahead window)");
+  a_to_b_.src_sim = &sim_a;
+  a_to_b_.channel = &a_to_b;
+  a_to_b_.endpoint.sim = &sim_b;
+  a_to_b_.endpoint.link = this;
+  a_to_b_.endpoint.toward_b = true;
+  b_to_a_.src_sim = &sim_b;
+  b_to_a_.channel = &b_to_a;
+  b_to_a_.endpoint.sim = &sim_a;
+  b_to_a_.endpoint.link = this;
+  b_to_a_.endpoint.toward_b = false;
+}
+
+void CrossPartitionLink::transmit_from(const NetDevice& sender, const Packet& p) {
+  if (!end_a_ || !end_b_) throw std::logic_error("CrossPartitionLink: not attached");
+  if (&sender != end_a_ && &sender != end_b_)
+    throw std::logic_error("CrossPartitionLink: transmit from non-endpoint");
+  Direction& dir = (&sender == end_a_) ? a_to_b_ : b_to_a_;
+  const sim::Time staged_at = dir.src_sim->now();
+  const sim::Time deliver_at = staged_at + delay();
+  dir.channel->stage(deliver_at, staged_at, &dir.endpoint, &CrossPartitionLink::deliver_staged,
+                     p);
+}
+
+void CrossPartitionLink::set_loss_rate(double, sim::Rng) {
+  throw std::logic_error(
+      "CrossPartitionLink: loss is unsupported across partitions (the per-packet RNG draw "
+      "order would depend on thread timing); keep lossy links inside one partition");
+}
+
+void CrossPartitionLink::set_jitter(sim::Time, sim::Rng) {
+  throw std::logic_error(
+      "CrossPartitionLink: jitter is unsupported across partitions (it would shrink the "
+      "lookahead bound and randomize the draw order); keep jittery links inside one "
+      "partition");
+}
+
+std::uint64_t CrossPartitionLink::packets_delivered() const {
+  return a_to_b_.endpoint.delivered + b_to_a_.endpoint.delivered;
+}
+
+void CrossPartitionLink::deliver_staged(void* endpoint, const std::byte* payload,
+                                        sim::Time deliver_at, sim::Time staged_at) {
+  auto* ep = static_cast<Endpoint*>(endpoint);
+  std::uint32_t slot;
+  if (ep->free_slots.empty()) {
+    slot = static_cast<std::uint32_t>(ep->arena.size());
+    ep->arena.emplace_back();
+  } else {
+    slot = ep->free_slots.back();
+    ep->free_slots.pop_back();
+  }
+  std::memcpy(&ep->arena[slot], payload, sizeof(Packet));
+  const auto deliver = [ep, slot] {
+    // Copy out before releasing: deliver_up can cascade into another
+    // transmit whose drain later claims the freed slot.
+    const Packet arrived = ep->arena[slot];
+    ep->free_slots.push_back(slot);
+    ++ep->delivered;
+    NetDevice* dev = ep->toward_b ? ep->link->end_b_ : ep->link->end_a_;
+    dev->deliver_up(arrived);
+  };
+  static_assert(sizeof(deliver) <= sim::InlineCallback::kCapacity,
+                "cross-partition delivery callback must stay inline");
+  // staged_at (the source's transmit clock) becomes the birth-time
+  // tie-break: a same-timestamp race between this delivery and a local
+  // event then resolves exactly as it would in a single-scheduler run.
+  ep->sim->at_from(staged_at, deliver_at, deliver);
+}
+
+}  // namespace rss::net

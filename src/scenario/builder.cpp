@@ -1,6 +1,9 @@
 #include "scenario/builder.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "net/cross_link.hpp"
 
 namespace rss::scenario {
 
@@ -10,12 +13,18 @@ constexpr std::uint64_t edge_key(std::size_t a, std::size_t b) {
   return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
 }
 
+/// `rng` is the stream RED queues fork from, in link-device order. For a
+/// single-partition build it is the simulation's master RNG (the historical
+/// behavior, byte-for-byte); a partitioned build forks from a dedicated
+/// Rng(seed) instead, which yields the *same* fork sequence — the master
+/// RNG has had no draws at wiring time — while leaving each partition's own
+/// RNG untouched.
 [[nodiscard]] std::unique_ptr<net::PacketQueue> make_queue(const DeviceSpec& dev,
-                                                           sim::Simulation& sim) {
+                                                           sim::Rng& rng) {
   if (dev.qdisc == QueueDiscipline::kRed) {
     net::RedQueue::Options red = dev.red;
     red.capacity_packets = dev.ifq_packets;
-    return std::make_unique<net::RedQueue>(red, sim.rng().fork());
+    return std::make_unique<net::RedQueue>(red, rng.fork());
   }
   return std::make_unique<net::DropTailQueue>(dev.ifq_packets);
 }
@@ -64,16 +73,20 @@ ScenarioBuilder& ScenarioBuilder::backend(sim::QueueBackend backend) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::execution(ExecutionPolicy policy) {
+  spec_.execution = policy;
+  return *this;
+}
+
 sim::QueueBackend ScenarioBuilder::auto_backend(const TopologySpec& spec,
                                                 const RouteTable& routes) {
-  return estimated_pending_events(spec, routes) >= kCalendarQueuePendingEvents
-             ? sim::QueueBackend::kCalendarQueue
-             : sim::QueueBackend::kBinaryHeap;
+  return ExecutionPolicy{}.resolve_backend(estimated_pending_events(spec, routes));
 }
 
 std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory) const {
+  using Code = TopologyError::Code;
   if (!cc_factory)
-    throw TopologyError(TopologyError::Code::kNullCcFactory,
+    throw TopologyError(Code::kNullCcFactory,
                         "ScenarioBuilder: null congestion-control factory");
   validate_topology(spec_);
   RouteTable routes = compute_routes(spec_);
@@ -83,26 +96,103 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
     const std::size_t src = *node_index(spec_, flow.src);
     const std::size_t dst = *node_index(spec_, flow.dst);
     if (!routes.reachable(src, dst))
-      throw TopologyError(TopologyError::Code::kUnroutableFlow,
+      throw TopologyError(Code::kUnroutableFlow,
                           "topology: no path from '" + flow.src + "' to '" + flow.dst + "'");
   }
 
-  const sim::QueueBackend backend = spec_.backend.value_or(auto_backend(spec_, routes));
+  // Resolve the execution policy; spec.backend is the deprecated alias and
+  // loses to an explicitly set execution.backend, and the process-wide
+  // defaults (CLI --backend/--partitions) are the lowest-precedence layer.
+  ExecutionPolicy policy = spec_.execution;
+  if (!policy.backend && spec_.backend) policy.backend = spec_.backend;
+  const ExecutionDefaults& process_defaults = execution_defaults();
+  if (!policy.backend && process_defaults.backend)
+    policy.backend = process_defaults.backend;
+  if (policy.partitions == 1 && process_defaults.partitions > 1)
+    policy.partitions = process_defaults.partitions;
+  if (policy.partitions == 0)
+    throw TopologyError(Code::kBadExecution, "execution: partitions must be >= 1");
+
+  // Partition the node graph. Requests beyond the node count are clamped;
+  // a disconnected graph can yield more partitions than requested (extra
+  // components parallelize for free).
+  const std::size_t requested =
+      std::min(policy.partitions, std::max<std::size_t>(spec_.nodes.size(), 1));
+  std::vector<std::uint32_t> assignment;
+  sim::Time lookahead = sim::Time::infinity();
+  if (requested > 1) {
+    std::vector<sim::PartitionEdge> edges;
+    edges.reserve(spec_.links.size());
+    for (const auto& link : spec_.links)
+      edges.push_back({*node_index(spec_, link.a), *node_index(spec_, link.b), link.delay});
+    assignment = policy.strategy == PartitionStrategy::kBlock
+                     ? sim::partition_blocks(spec_.nodes.size(), requested)
+                     : sim::partition_by_latency(spec_.nodes.size(), edges, requested);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (assignment[edges[e].a] != assignment[edges[e].b] &&
+          edges[e].latency < sim::Time::nanoseconds(1))
+        throw TopologyError(Code::kZeroLatencyCut,
+                            "execution: link '" + spec_.links[e].a + "' -- '" +
+                                spec_.links[e].b +
+                                "' crosses partitions but has zero latency; conservative "
+                                "lookahead needs every cut link to be >= 1ns");
+    }
+    lookahead = sim::min_cut_latency(edges, assignment);
+  } else {
+    assignment.assign(spec_.nodes.size(), 0);
+  }
+  const std::size_t parts = std::max<std::size_t>(sim::partition_count(assignment), 1);
+
+  // Backend auto-select sees each partition's share of the pending-event
+  // estimate — a partition runs its own scheduler over roughly 1/parts of
+  // the events.
+  const std::size_t estimated = estimated_pending_events(spec_, routes);
+  const sim::QueueBackend backend = policy.resolve_backend(estimated / parts);
+
   // make_unique needs a public constructor; the builder is a friend, so
   // construct directly.
-  std::unique_ptr<Scenario> scenario{new Scenario(spec_, std::move(routes), backend)};
+  std::unique_ptr<Scenario> scenario{new Scenario(spec_, std::move(routes))};
   const TopologySpec& spec = scenario->spec_;
-  sim::Simulation& sim = scenario->sim_;
+  scenario->node_partition_ = assignment;
+  scenario->lookahead_ = lookahead;
+  for (std::size_t p = 0; p < parts; ++p)
+    scenario->sims_.push_back(
+        std::make_unique<sim::Simulation>(spec.seed + p, backend));
+  if (parts > 1) {
+    std::vector<sim::Simulation*> sim_ptrs;
+    sim_ptrs.reserve(parts);
+    for (const auto& s : scenario->sims_) sim_ptrs.push_back(s.get());
+    // Resolve the thread count here rather than in the engine: a zero
+    // budget must fall through the process-wide defaults (--jobs) before
+    // hitting hardware_concurrency, and the sim layer knows neither.
+    scenario->engine_ = std::make_unique<sim::PartitionedEngine>(
+        std::move(sim_ptrs),
+        sim::PartitionedEngine::Options{.lookahead = lookahead,
+                                        .threads = policy.resolve_threads(parts),
+                                        .deterministic_merge = policy.deterministic_merge});
+  }
+
+  const auto sim_of_node = [&](std::size_t n) -> sim::Simulation& {
+    return *scenario->sims_[assignment[n]];
+  };
+  // RED fork stream: the partition-0 master RNG for single-partition
+  // builds (historical behavior), a detached same-seed stream otherwise
+  // (identical fork sequence — see make_queue).
+  sim::Rng detached_master{spec.seed};
+  sim::Rng& queue_rng = parts > 1 ? detached_master : scenario->sims_.front()->rng();
 
   // Nodes: ids are 1-based spec indices.
   for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
-    scenario->nodes_.push_back(
-        std::make_unique<net::Node>(sim, static_cast<std::uint32_t>(i + 1), spec.nodes[i]));
+    scenario->nodes_.push_back(std::make_unique<net::Node>(
+        sim_of_node(i), static_cast<std::uint32_t>(i + 1), spec.nodes[i]));
     scenario->node_index_.emplace(spec.nodes[i], i);
   }
 
   // Links: one device per endpoint, created in link declaration order so
-  // device indices match the RouteTable's adjacency.
+  // device indices match the RouteTable's adjacency. A link whose
+  // endpoints landed in different partitions becomes a CrossPartitionLink
+  // staging through the engine; channel ids follow link order, keeping the
+  // deterministic merge a pure function of the spec.
   for (const auto& link : spec.links) {
     const std::size_t a = scenario->index_of(link.a);
     const std::size_t b = scenario->index_of(link.b);
@@ -110,11 +200,21 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
         link.a_dev.name.empty() ? link.a + "->" + link.b : link.a_dev.name;
     const std::string b_name =
         link.b_dev.name.empty() ? link.b + "->" + link.a : link.b_dev.name;
-    net::NetDevice& a_dev =
-        scenario->nodes_[a]->add_device(link.a_dev.rate, make_queue(link.a_dev, sim), a_name);
-    net::NetDevice& b_dev =
-        scenario->nodes_[b]->add_device(link.b_dev.rate, make_queue(link.b_dev, sim), b_name);
-    scenario->links_.push_back(std::make_unique<net::PointToPointLink>(sim, link.delay));
+    net::NetDevice& a_dev = scenario->nodes_[a]->add_device(
+        link.a_dev.rate, make_queue(link.a_dev, queue_rng), a_name);
+    net::NetDevice& b_dev = scenario->nodes_[b]->add_device(
+        link.b_dev.rate, make_queue(link.b_dev, queue_rng), b_name);
+    const std::uint32_t pa = assignment[a];
+    const std::uint32_t pb = assignment[b];
+    if (pa == pb) {
+      scenario->links_.push_back(
+          std::make_unique<net::PointToPointLink>(sim_of_node(a), link.delay));
+    } else {
+      sim::HandoffChannel& fwd = scenario->engine_->add_channel(pa, pb);
+      sim::HandoffChannel& rev = scenario->engine_->add_channel(pb, pa);
+      scenario->links_.push_back(std::make_unique<net::CrossPartitionLink>(
+          sim_of_node(a), sim_of_node(b), link.delay, fwd, rev));
+    }
     scenario->links_.back()->attach(a_dev, b_dev);
     scenario->device_by_edge_.emplace(edge_key(a, b), &a_dev);
     scenario->device_by_edge_.emplace(edge_key(b, a), &b_dev);
@@ -130,7 +230,8 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
   }
 
   // Flows: receiver first, then sender (the order the hand-wired
-  // scenarios used), then the optional Web100 agent.
+  // scenarios used), then the optional Web100 agent. Each endpoint object
+  // is wired to its own node's partition.
   for (std::size_t f = 0; f < spec.flows.size(); ++f) {
     const auto& flow = spec.flows[f];
     const std::size_t src = scenario->index_of(flow.src);
@@ -139,24 +240,25 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
         flow.flow_id != 0 ? flow.flow_id : static_cast<std::uint32_t>(f + 1);
 
     Scenario::FlowRuntime runtime;
+    runtime.src_sim = &sim_of_node(src);
 
     tcp::TcpReceiver::Options rx_opt = flow.receiver;
     rx_opt.flow_id = flow_id;
     rx_opt.peer_node = static_cast<std::uint32_t>(src + 1);
-    runtime.receiver =
-        std::make_unique<tcp::TcpReceiver>(sim, *scenario->nodes_[dst], rx_opt);
+    runtime.receiver = std::make_unique<tcp::TcpReceiver>(sim_of_node(dst),
+                                                          *scenario->nodes_[dst], rx_opt);
 
     tcp::TcpSender::Options tx_opt = flow.sender;
     tx_opt.flow_id = flow_id;
     tx_opt.dst_node = static_cast<std::uint32_t>(dst + 1);
     net::NetDevice& egress =
         scenario->nodes_[src]->device(scenario->routes_.egress(src, dst));
-    runtime.sender = std::make_unique<tcp::TcpSender>(sim, *scenario->nodes_[src], egress,
-                                                      cc_factory(f), tx_opt);
+    runtime.sender = std::make_unique<tcp::TcpSender>(
+        sim_of_node(src), *scenario->nodes_[src], egress, cc_factory(f), tx_opt);
 
     if (flow.web100) {
       runtime.agent = std::make_unique<web100::PollingAgent>(
-          sim,
+          sim_of_node(src),
           [sender = runtime.sender.get()]() -> const web100::Mib& { return sender->mib(); },
           flow.web100_poll_period);
       runtime.agent->start();
@@ -176,8 +278,8 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
 
 // --- Scenario -------------------------------------------------------------
 
-Scenario::Scenario(TopologySpec spec, RouteTable routes, sim::QueueBackend backend)
-    : spec_{std::move(spec)}, routes_{std::move(routes)}, sim_{spec_.seed, backend} {}
+Scenario::Scenario(TopologySpec spec, RouteTable routes)
+    : spec_{std::move(spec)}, routes_{std::move(routes)} {}
 
 std::size_t Scenario::index_of(std::string_view name) const {
   const auto it = node_index_.find(std::string{name});
@@ -186,9 +288,20 @@ std::size_t Scenario::index_of(std::string_view name) const {
   return it->second;
 }
 
+std::uint32_t Scenario::partition_of(std::string_view name) const {
+  return node_partition_.at(index_of(name));
+}
+
+std::uint64_t Scenario::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) total += sim->scheduler().events_executed();
+  return total;
+}
+
 void Scenario::start_flow(std::size_t i, sim::Time at) {
-  tcp::TcpSender* sender = flows_.at(i).sender.get();
-  sim_.at(at, [sender] { sender->set_unlimited(true); });
+  FlowRuntime& flow = flows_.at(i);
+  tcp::TcpSender* sender = flow.sender.get();
+  flow.src_sim->at(at, [sender] { sender->set_unlimited(true); });
 }
 
 std::vector<double> Scenario::goodputs_mbps(sim::Time t0, sim::Time t1) const {

@@ -13,6 +13,7 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "scenario/topology.hpp"
+#include "sim/partition.hpp"
 #include "sim/simulation.hpp"
 #include "tcp/tcp_receiver.hpp"
 #include "tcp/tcp_sender.hpp"
@@ -29,11 +30,32 @@ class Scenario {
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  /// Partition 0's simulation (the only one for a single-partition build).
+  /// Partitioned scenarios must be driven through Scenario::run_until —
+  /// running one partition's scheduler directly would outrun the safe
+  /// window.
+  [[nodiscard]] sim::Simulation& simulation() { return *sims_.front(); }
   [[nodiscard]] const TopologySpec& spec() const { return spec_; }
   [[nodiscard]] const RouteTable& routes() const { return routes_; }
   /// The backend the simulation actually runs on (explicit or auto-selected).
-  [[nodiscard]] sim::QueueBackend backend() const { return sim_.scheduler().backend(); }
+  [[nodiscard]] sim::QueueBackend backend() const {
+    return sims_.front()->scheduler().backend();
+  }
+
+  // --- partitioned execution ---
+  [[nodiscard]] std::size_t partition_count() const { return sims_.size(); }
+  /// Partition that `name`'s node (and all its devices) executes on.
+  [[nodiscard]] std::uint32_t partition_of(std::string_view name) const;
+  /// The engine driving a partitioned build, or nullptr for the classic
+  /// single-scheduler run (partition stats live here).
+  [[nodiscard]] const sim::PartitionedEngine* engine() const { return engine_.get(); }
+  /// Conservative lookahead of the partitioning (infinite when single
+  /// partition or no cut edges).
+  [[nodiscard]] sim::Time lookahead() const { return lookahead_; }
+  /// Total events executed across every partition's scheduler (equals the
+  /// single scheduler's count for an unpartitioned build). The bench smoke
+  /// legs report throughput as events / wall-second from this.
+  [[nodiscard]] std::uint64_t events_executed() const;
 
   // --- flows (indices follow spec.flows order) ---
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
@@ -49,7 +71,15 @@ class Scenario {
   /// whose spec left `start` unset, or to start one again).
   void start_flow(std::size_t i, sim::Time at);
 
-  void run_until(sim::Time t) { sim_.run_until(t); }
+  /// Advance the whole scenario to exactly `t` — through the partitioned
+  /// engine when there is one, directly otherwise.
+  void run_until(sim::Time t) {
+    if (engine_) {
+      engine_->run_until(t);
+    } else {
+      sims_.front()->run_until(t);
+    }
+  }
 
   /// Per-flow goodput over [t0, t1] (Mbit/s), in flow order.
   [[nodiscard]] std::vector<double> goodputs_mbps(sim::Time t0, sim::Time t1) const;
@@ -65,19 +95,26 @@ class Scenario {
 
  private:
   friend class ScenarioBuilder;
-  Scenario(TopologySpec spec, RouteTable routes, sim::QueueBackend backend);
+  Scenario(TopologySpec spec, RouteTable routes);
 
   struct FlowRuntime {
     std::unique_ptr<tcp::TcpReceiver> receiver;
     std::unique_ptr<tcp::TcpSender> sender;
     std::unique_ptr<web100::PollingAgent> agent;
+    sim::Simulation* src_sim{nullptr};  ///< partition the sender lives on
   };
 
   [[nodiscard]] std::size_t index_of(std::string_view name) const;
 
   TopologySpec spec_;
   RouteTable routes_;
-  sim::Simulation sim_;
+  /// One Simulation per partition (always at least one). Everything a node
+  /// owns — devices, queues, flow endpoints — holds a reference to its
+  /// partition's Simulation.
+  std::vector<std::unique_ptr<sim::Simulation>> sims_;
+  std::vector<std::uint32_t> node_partition_;  ///< spec node index -> partition
+  sim::Time lookahead_{sim::Time::infinity()};
+  std::unique_ptr<sim::PartitionedEngine> engine_;  ///< null for single partition
   std::vector<std::unique_ptr<net::Node>> nodes_;
   std::vector<std::unique_ptr<net::PointToPointLink>> links_;
   std::vector<FlowRuntime> flows_;
@@ -103,12 +140,10 @@ class Scenario {
 ///                         .build(make_reno_factory());
 class ScenarioBuilder {
  public:
-  /// Estimated pending-event count at which build() auto-selects the
-  /// calendar queue over the binary heap. Derived from the measured
-  /// crossover on bench_micro_substrate (README "Choosing a
-  /// QueueBackend"): a 32-flow dumbbell — 32 flows x (2 timers + 3 links)
-  /// = 160 pending events — is where the calendar starts winning.
-  static constexpr std::size_t kCalendarQueuePendingEvents = 160;
+  /// Deprecated alias for ExecutionPolicy::kCalendarQueuePendingEvents,
+  /// which now owns the auto-select threshold.
+  static constexpr std::size_t kCalendarQueuePendingEvents =
+      ExecutionPolicy::kCalendarQueuePendingEvents;
 
   ScenarioBuilder() = default;
   explicit ScenarioBuilder(TopologySpec spec) : spec_{std::move(spec)} {}
@@ -120,7 +155,11 @@ class ScenarioBuilder {
                                sim::Time delay, std::size_t ifq_packets);
   ScenarioBuilder& flow(FlowSpec flow);
   ScenarioBuilder& seed(std::uint64_t seed);
+  /// Deprecated alias for execution().backend — kept for existing call
+  /// sites; an explicit execution policy backend wins.
   ScenarioBuilder& backend(sim::QueueBackend backend);
+  /// Set the full execution policy (backend, partitions, threads).
+  ScenarioBuilder& execution(ExecutionPolicy policy);
 
   [[nodiscard]] const TopologySpec& spec() const { return spec_; }
 

@@ -9,6 +9,7 @@ TopologySpec Dumbbell::make_spec(const Config& config) {
   TopologySpec spec;
   spec.seed = config.seed;
   spec.backend = config.backend;
+  spec.execution = config.execution;
 
   spec.nodes = {"routerL", "routerR"};
   for (std::size_t i = 0; i < config.flows; ++i) {

@@ -44,13 +44,18 @@ class Dumbbell {
   struct Config {
     std::size_t flows{2};
     std::uint64_t seed{1};
-    /// Event-queue backend — purely a speed knob, pop order is backend-
-    /// independent (parity-tested). Defaults to auto-selection from the
-    /// measured crossover: the calendar queue wins once enough flows keep
-    /// the pending set dense (bench_micro_substrate measures ~+12% at 32+
-    /// flows, -25% at 16), the binary heap wins below. Set explicitly to
-    /// pin a backend.
+    /// Deprecated alias for execution.backend (kept so existing call sites
+    /// and spec round-trips stay byte-identical; an explicitly set
+    /// execution.backend wins). Event-queue backend — purely a speed knob,
+    /// pop order is backend-independent (parity-tested). Defaults to
+    /// auto-selection from the measured crossover: the calendar queue wins
+    /// once enough flows keep the pending set dense (bench_micro_substrate
+    /// measures ~+12% at 32+ flows, -25% at 16), the binary heap wins
+    /// below. Set explicitly to pin a backend.
     std::optional<sim::QueueBackend> backend{};
+    /// Full execution policy (backend, partitions, thread budget) — the
+    /// preferred surface; see scenario::ExecutionPolicy.
+    ExecutionPolicy execution{};
     net::DataRate access_rate{net::DataRate::gbps(1)};
     net::DataRate bottleneck_rate{net::DataRate::mbps(100)};
     sim::Time access_delay{sim::Time::milliseconds(1)};

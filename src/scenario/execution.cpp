@@ -1,0 +1,25 @@
+#include "scenario/execution.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace rss::scenario {
+
+std::size_t ExecutionPolicy::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t ExecutionPolicy::resolve_threads(std::size_t work_items) const {
+  std::size_t budget = threads;
+  if (budget == 0) budget = execution_defaults().thread_budget;
+  if (budget == 0) budget = hardware_threads();
+  return std::clamp<std::size_t>(budget, 1, std::max<std::size_t>(work_items, 1));
+}
+
+ExecutionDefaults& execution_defaults() {
+  static ExecutionDefaults defaults;
+  return defaults;
+}
+
+}  // namespace rss::scenario

@@ -33,6 +33,7 @@ TopologySpec ParkingLot::make_spec(const Config& config) {
   TopologySpec spec;
   spec.seed = config.seed;
   spec.backend = config.backend;
+  spec.execution = config.execution;
 
   for (std::size_t r = 0; r <= config.hops; ++r) spec.nodes.push_back(router_name(r));
   spec.nodes.push_back("src");
@@ -128,6 +129,7 @@ TopologySpec MultiBottleneckChain::make_spec(const Config& config) {
   TopologySpec spec;
   spec.seed = config.seed;
   spec.backend = config.backend;
+  spec.execution = config.execution;
 
   for (std::size_t r = 0; r <= hops; ++r) spec.nodes.push_back(router_name(r));
   for (std::size_t i = 0; i < config.flows; ++i) {
@@ -191,6 +193,109 @@ net::NetDevice& MultiBottleneckChain::bottleneck(std::size_t hop) {
 
 std::size_t MultiBottleneckChain::flow_hops(std::size_t i) const {
   return cfg_.hop_rates.size() - (i % cfg_.hop_rates.size());
+}
+
+// --- ScaleMesh ------------------------------------------------------------
+
+TopologySpec ScaleMesh::make_spec(const Config& config) {
+  if (config.segments == 0)
+    throw std::invalid_argument("ScaleMesh: need at least one segment");
+  if (config.flows_per_segment == 0)
+    throw std::invalid_argument("ScaleMesh: need at least one flow per segment");
+  if (config.segments > 1 && config.inter_delay < sim::Time::nanoseconds(1))
+    throw std::invalid_argument("ScaleMesh: inter_delay must be >= 1ns (lookahead bound)");
+
+  TopologySpec spec;
+  spec.seed = config.seed;
+  spec.backend = config.backend;
+  spec.execution = config.execution;
+
+  const auto seg = [](const char* prefix, std::size_t i) {
+    return std::string{prefix} + std::to_string(i);
+  };
+
+  for (std::size_t i = 0; i < config.segments; ++i) {
+    spec.nodes.push_back(seg("hL", i));
+    spec.nodes.push_back(seg("rL", i));
+    spec.nodes.push_back(seg("rR", i));
+    spec.nodes.push_back(seg("hR", i));
+  }
+
+  for (std::size_t i = 0; i < config.segments; ++i) {
+    LinkSpec in;
+    in.a = seg("hL", i);
+    in.b = seg("rL", i);
+    in.delay = config.access_delay;
+    in.a_dev = {config.access_rate, config.sender_ifq_packets};
+    in.b_dev = {config.access_rate, 1000};
+    spec.links.push_back(std::move(in));
+
+    LinkSpec bottleneck;
+    bottleneck.a = seg("rL", i);
+    bottleneck.b = seg("rR", i);
+    bottleneck.delay = config.bottleneck_delay;
+    bottleneck.a_dev = {config.bottleneck_rate, config.router_queue_packets,
+                        QueueDiscipline::kDropTail, {},
+                        "seg" + std::to_string(i) + "/bottleneck"};
+    bottleneck.b_dev = {config.bottleneck_rate, config.router_queue_packets};
+    spec.links.push_back(std::move(bottleneck));
+
+    LinkSpec out;
+    out.a = seg("rR", i);
+    out.b = seg("hR", i);
+    out.delay = config.access_delay;
+    out.a_dev = {config.access_rate, 1000};
+    out.b_dev = {config.access_rate, 1000};
+    spec.links.push_back(std::move(out));
+
+    // Trunk to the next segment: the largest delay in the topology, so
+    // latency-guided partitioning cuts here and inter_delay becomes the
+    // engine's lookahead window.
+    if (i + 1 < config.segments) {
+      LinkSpec trunk;
+      trunk.a = seg("rR", i);
+      trunk.b = seg("rL", i + 1);
+      trunk.delay = config.inter_delay;
+      trunk.a_dev = {config.trunk_rate, config.router_queue_packets,
+                     QueueDiscipline::kDropTail, {},
+                     "trunk" + std::to_string(i)};
+      trunk.b_dev = {config.trunk_rate, config.router_queue_packets};
+      spec.links.push_back(std::move(trunk));
+    }
+  }
+
+  const auto add_flow = [&](const std::string& src, const std::string& dst) {
+    FlowSpec flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.start = config.start_all;
+    flow.sender = config.sender;
+    flow.sender.mss = config.mss;
+    flow.receiver = config.receiver;
+    spec.flows.push_back(std::move(flow));
+  };
+
+  // Local flows first (segment-major), then cross flows (trunk-major) —
+  // the index math in local_flow()/cross_flow() depends on this order.
+  for (std::size_t i = 0; i < config.segments; ++i)
+    for (std::size_t k = 0; k < config.flows_per_segment; ++k)
+      add_flow(seg("hL", i), seg("hR", i));
+  for (std::size_t i = 0; i + 1 < config.segments; ++i)
+    for (std::size_t k = 0; k < config.cross_flows_per_segment; ++k)
+      add_flow(seg("hL", i), seg("hR", i + 1));
+  return spec;
+}
+
+ScaleMesh::ScaleMesh(Config config, const FlowCcFactory& cc_factory)
+    : cfg_{std::move(config)} {
+  if (!cc_factory)
+    throw std::invalid_argument("ScaleMesh: null congestion-control factory");
+  scenario_ = ScenarioBuilder{make_spec(cfg_)}.build(cc_factory);
+}
+
+net::NetDevice& ScaleMesh::bottleneck(std::size_t segment) {
+  return scenario_->device("rL" + std::to_string(segment),
+                           "rR" + std::to_string(segment));
 }
 
 }  // namespace rss::scenario

@@ -34,7 +34,11 @@ class ParkingLot {
     std::size_t hops{3};
     std::size_t cross_flows_per_hop{1};
     std::uint64_t seed{1};
+    /// Deprecated alias for execution.backend (an explicitly set
+    /// execution.backend wins).
     std::optional<sim::QueueBackend> backend{};
+    /// Full execution policy (backend, partitions, thread budget).
+    ExecutionPolicy execution{};
     net::DataRate bottleneck_rate{net::DataRate::mbps(100)};
     net::DataRate access_rate{net::DataRate::gbps(1)};
     sim::Time access_delay{sim::Time::milliseconds(1)};
@@ -106,7 +110,11 @@ class MultiBottleneckChain {
     std::vector<sim::Time> hop_delays{};
     sim::Time default_hop_delay{sim::Time::milliseconds(10)};
     std::uint64_t seed{1};
+    /// Deprecated alias for execution.backend (an explicitly set
+    /// execution.backend wins).
     std::optional<sim::QueueBackend> backend{};
+    /// Full execution policy (backend, partitions, thread budget).
+    ExecutionPolicy execution{};
     net::DataRate access_rate{net::DataRate::gbps(1)};
     sim::Time access_delay{sim::Time::milliseconds(1)};
     std::size_t sender_ifq_packets{100};
@@ -132,6 +140,86 @@ class MultiBottleneckChain {
   /// Hop count flow `i` traverses (router segments only, excluding access
   /// links) — differs per flow by construction.
   [[nodiscard]] std::size_t flow_hops(std::size_t i) const;
+
+  [[nodiscard]] std::vector<double> goodputs_mbps(sim::Time t0, sim::Time t1) const {
+    return scenario_->goodputs_mbps(t0, t1);
+  }
+
+ private:
+  Config cfg_;
+  std::unique_ptr<Scenario> scenario_;
+};
+
+/// Scale preset: a chain of `segments` independent dumbbells stitched
+/// together by long-haul trunks — the workload the partitioned engine is
+/// built for. Each segment is a classic 4-node dumbbell carrying
+/// `flows_per_segment` local flows (flows share their segment's host pair,
+/// so node count — and the O(nodes^2) route table — stays tiny while the
+/// flow population scales to 100k+); `cross_flows_per_segment` flows per
+/// trunk cross into the next segment and exercise the partition handoff.
+///
+///   hL0 ─ rL0 ══ rR0 ─ hR0      hL1 ─ rL1 ══ rR1 ─ hR1
+///                  └───── trunk (inter_delay) ─────┘   ...
+///
+/// The trunks carry the largest latency in the topology, so the builder's
+/// latency-guided partitioning (ExecutionPolicy::partitions > 1) cuts
+/// exactly there and the trunk delay becomes the conservative-lookahead
+/// window. Defaults describe the 100k-flow configuration from the bench;
+/// tests use small explicit configs.
+class ScaleMesh {
+ public:
+  struct Config {
+    std::size_t segments{8};
+    std::size_t flows_per_segment{12500};   ///< local hL_i -> hR_i flows
+    std::size_t cross_flows_per_segment{4}; ///< hL_i -> hR_{i+1}, per trunk
+    std::uint64_t seed{1};
+    /// Deprecated alias for execution.backend (an explicitly set
+    /// execution.backend wins).
+    std::optional<sim::QueueBackend> backend{};
+    /// Full execution policy — set execution.partitions to run segments in
+    /// parallel (the trunk delay bounds the lookahead window).
+    ExecutionPolicy execution{};
+    net::DataRate access_rate{net::DataRate::gbps(10)};
+    net::DataRate bottleneck_rate{net::DataRate::gbps(1)};
+    net::DataRate trunk_rate{net::DataRate::gbps(10)};
+    sim::Time access_delay{sim::Time::microseconds(50)};
+    sim::Time bottleneck_delay{sim::Time::milliseconds(5)};
+    /// One-way trunk delay between adjacent segments — the partition cut
+    /// latency, hence the lookahead bound. Must be >= 1ns to partition.
+    sim::Time inter_delay{sim::Time::milliseconds(10)};
+    std::size_t sender_ifq_packets{100};
+    std::size_t router_queue_packets{200};
+    std::uint32_t mss{1460};
+    /// When set, every flow's bulk transfer starts at this time during
+    /// build (spec-declared starts); when unset, drive flows manually.
+    std::optional<sim::Time> start_all{};
+    tcp::TcpSender::Options sender{};      ///< ids/mss overwritten per flow
+    tcp::TcpReceiver::Options receiver{};  ///< ids overwritten per flow
+  };
+
+  [[nodiscard]] static TopologySpec make_spec(const Config& config);
+
+  ScaleMesh(Config config, const FlowCcFactory& cc_factory);
+
+  /// Start flow `i`'s unbounded bulk transfer at `start`.
+  void start_flow(std::size_t i, sim::Time start) { scenario_->start_flow(i, start); }
+
+  [[nodiscard]] Scenario& scenario() { return *scenario_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] std::size_t flow_count() const { return scenario_->flow_count(); }
+  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return scenario_->sender(i); }
+  /// Flow index of local flow `k` within segment `s` (segment-major,
+  /// local flows first, then all cross flows trunk-major).
+  [[nodiscard]] std::size_t local_flow(std::size_t segment, std::size_t k) const {
+    return segment * cfg_.flows_per_segment + k;
+  }
+  /// Flow index of cross flow `k` on the trunk leaving segment `s`.
+  [[nodiscard]] std::size_t cross_flow(std::size_t segment, std::size_t k) const {
+    return cfg_.segments * cfg_.flows_per_segment +
+           segment * cfg_.cross_flows_per_segment + k;
+  }
+  /// The bottleneck egress device of segment `s` (rL_s toward rR_s).
+  [[nodiscard]] net::NetDevice& bottleneck(std::size_t segment);
 
   [[nodiscard]] std::vector<double> goodputs_mbps(sim::Time t0, sim::Time t1) const {
     return scenario_->goodputs_mbps(t0, t1);

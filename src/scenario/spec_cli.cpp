@@ -1,5 +1,6 @@
 #include "scenario/spec_cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -97,7 +98,13 @@ struct FlowResult {
 }  // namespace
 
 metrics::Table run_spec_document(const JsonValue& document, std::size_t max_threads) {
-  const std::vector<SweepPoint> points = expand_scenario_spec(document);
+  ExecFlags exec;
+  exec.jobs = max_threads;
+  return run_spec_document(document, exec);
+}
+
+metrics::Table run_spec_document(const JsonValue& document, const ExecFlags& exec) {
+  std::vector<SweepPoint> points = expand_scenario_spec(document);
 
   std::vector<std::string> columns{"point"};
   for (const auto& [field, value] : points.front().assignment) columns.push_back(field);
@@ -105,10 +112,26 @@ metrics::Table run_spec_document(const JsonValue& document, std::size_t max_thre
                         "timeouts", "pkts_retrans"})
     columns.emplace_back(c);
 
+  // One thread budget for the whole run: sweep workers come off it first,
+  // then each partitioned point that doesn't pin its own thread count gets
+  // an equal share of what remains — nested parallelism (sweep x engine)
+  // never oversubscribes.
+  for (auto& point : points) exec.apply(point.spec.topology.execution);
+  std::size_t budget = exec.jobs;
+  if (budget == 0) budget = execution_defaults().thread_budget;
+  if (budget == 0) budget = ExecutionPolicy::hardware_threads();
+  const std::size_t workers =
+      std::clamp<std::size_t>(budget, 1, std::max<std::size_t>(points.size(), 1));
+  for (auto& point : points) {
+    ExecutionPolicy& policy = point.spec.topology.execution;
+    if (policy.partitioned() && policy.threads == 0)
+      policy.threads = std::max<std::size_t>(1, budget / workers);
+  }
+
   std::vector<std::vector<FlowResult>> results(points.size());
   parallel_sweep(
       points.size(), [&](std::size_t p) { results[p] = run_point(points[p].spec); },
-      max_threads);
+      workers);
 
   metrics::Table table{columns};
   for (std::size_t p = 0; p < points.size(); ++p) {
@@ -141,10 +164,18 @@ metrics::Table run_spec_file(const std::string& path, std::size_t max_threads) {
   return run_spec_text(read_spec_file(path), max_threads);
 }
 
+metrics::Table run_spec_text(std::string_view json_text, const ExecFlags& exec) {
+  return run_spec_document(json_parse(json_text), exec);
+}
+
+metrics::Table run_spec_file(const std::string& path, const ExecFlags& exec) {
+  return run_spec_text(read_spec_file(path), exec);
+}
+
 // --- presets as specs -----------------------------------------------------
 
 std::vector<std::string> preset_names() {
-  return {"wanpath", "dumbbell", "parkinglot", "chain"};
+  return {"wanpath", "dumbbell", "parkinglot", "chain", "scale"};
 }
 
 ScenarioSpec preset_spec(const std::string& name) {
@@ -158,9 +189,20 @@ ScenarioSpec preset_spec(const std::string& name) {
     spec.topology = ParkingLot::make_spec(ParkingLot::Config{});
   } else if (name == "chain") {
     spec.topology = MultiBottleneckChain::make_spec(MultiBottleneckChain::Config{});
+  } else if (name == "scale") {
+    // The reduced bench configuration: the full ScaleMesh default is a
+    // 100k-flow workload, far too heavy for an emittable/round-trippable
+    // preset. Partitioned by default — the round-trip fingerprint therefore
+    // also exercises build-and-run through the partitioned engine.
+    ScaleMesh::Config cfg;
+    cfg.segments = 4;
+    cfg.flows_per_segment = 8;
+    cfg.cross_flows_per_segment = 2;
+    cfg.execution.partitions = 4;
+    spec.topology = ScaleMesh::make_spec(cfg);
   } else {
     throw std::invalid_argument("unknown preset: " + name +
-                                " (known: wanpath, dumbbell, parkinglot, chain)");
+                                " (known: wanpath, dumbbell, parkinglot, chain, scale)");
   }
   spec.flow_cc.assign(spec.topology.flows.size(), "reno");
   return spec;
@@ -188,8 +230,8 @@ int usage(const char* argv0) {
                "\n"
                "options:\n"
                "  --out <path>             write CSV/spec output here (default: stdout)\n"
-               "  --threads <n>            sweep-point parallelism (default: all cores)\n",
-               argv0);
+               "%s",
+               argv0, ExecFlags::help());
   return 2;
 }
 
@@ -207,8 +249,8 @@ int usage(const char* argv0) {
   return 0;
 }
 
-int cmd_run(const std::string& path, const std::string& out_path, std::size_t threads) {
-  const metrics::Table table = run_spec_file(path, threads);
+int cmd_run(const std::string& path, const std::string& out_path, const ExecFlags& exec) {
+  const metrics::Table table = run_spec_file(path, exec);
   const int rc = write_output(out_path, table.to_csv());
   if (rc == 0 && !out_path.empty())
     std::printf("wrote %s (%zu rows)\n", out_path.c_str(), table.row_count());
@@ -308,10 +350,18 @@ int scenario_main(int argc, char** argv) {
   std::string out_path;
   std::string run_path;
   std::string preset;
-  std::size_t threads = 0;
+  ExecFlags exec;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
+    switch (exec.parse(argc, argv, i)) {
+      case ExecFlags::Parse::kConsumed:
+        continue;
+      case ExecFlags::Parse::kError:
+        return 2;
+      case ExecFlags::Parse::kNotMine:
+        break;
+    }
     const std::string_view arg = argv[i];
     if (arg == "--run") {
       if (i + 1 >= argc) {
@@ -339,12 +389,6 @@ int scenario_main(int argc, char** argv) {
         return 2;
       }
       out_path = argv[++i];
-    } else if (arg == "--threads") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--threads needs a count argument\n");
-        return 2;
-      }
-      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -359,7 +403,7 @@ int scenario_main(int argc, char** argv) {
   try {
     switch (cmd) {
       case Command::kRun:
-        return cmd_run(run_path, out_path, threads);
+        return cmd_run(run_path, out_path, exec);
       case Command::kValidate:
         return cmd_validate(files);
       case Command::kEmitPreset:

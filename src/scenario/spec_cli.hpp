@@ -8,6 +8,7 @@
 
 #include "metrics/table.hpp"
 #include "scenario/builder.hpp"
+#include "scenario/exec_flags.hpp"
 #include "scenario/spec_io.hpp"
 #include "scenario/topology.hpp"
 
@@ -38,9 +39,21 @@ namespace rss::scenario::spec {
 [[nodiscard]] metrics::Table run_spec_file(const std::string& path,
                                            std::size_t max_threads = 0);
 
-/// The C++ topology presets as scenario specs, with their default Config
-/// and Reno on every flow: "wanpath", "dumbbell", "parkinglot", "chain".
-/// Throws std::invalid_argument on an unknown name.
+/// ExecFlags-driven variants: --backend/--partitions override every sweep
+/// point's execution policy, and --jobs is one budget shared by the sweep
+/// workers and the partition engines inside each point (each partitioned
+/// point that doesn't pin its own thread count gets budget / workers).
+[[nodiscard]] metrics::Table run_spec_document(const JsonValue& document,
+                                               const ExecFlags& exec);
+[[nodiscard]] metrics::Table run_spec_text(std::string_view json_text,
+                                           const ExecFlags& exec);
+[[nodiscard]] metrics::Table run_spec_file(const std::string& path, const ExecFlags& exec);
+
+/// The C++ topology presets as scenario specs with Reno on every flow:
+/// "wanpath", "dumbbell", "parkinglot", "chain" carry their default Config;
+/// "scale" carries the reduced bench configuration of ScaleMesh (the full
+/// default is a 100k-flow workload). Throws std::invalid_argument on an
+/// unknown name.
 [[nodiscard]] ScenarioSpec preset_spec(const std::string& name);
 [[nodiscard]] std::vector<std::string> preset_names();
 

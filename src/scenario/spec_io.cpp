@@ -972,6 +972,65 @@ JsonValue flow_to_json(const FlowSpec& f, const std::string& cc) {
   return o;
 }
 
+[[nodiscard]] std::optional<sim::QueueBackend> parse_backend_name(const JsonValue& x,
+                                                                  const std::string& field) {
+  const std::string& b = x.as_string(field);
+  if (b == "binary_heap") return sim::QueueBackend::kBinaryHeap;
+  if (b == "calendar_queue") return sim::QueueBackend::kCalendarQueue;
+  if (b == "auto") return std::nullopt;
+  fail(SpecError::Code::kBadValue, field, x.line,
+       "unknown backend '" + b +
+           "' (expected \"binary_heap\", \"calendar_queue\", or \"auto\")");
+}
+
+[[nodiscard]] ExecutionPolicy parse_execution(const JsonValue& v, const std::string& path) {
+  ObjectReader r{v, path};
+  ExecutionPolicy policy;
+  if (const auto* x = r.opt("backend"))
+    policy.backend = parse_backend_name(*x, r.path_of("backend"));
+  if (const auto* x = r.opt("partitions")) {
+    const std::string field = r.path_of("partitions");
+    policy.partitions = static_cast<std::size_t>(x->as_u64(field));
+    if (policy.partitions == 0)
+      fail(SpecError::Code::kBadValue, field, x->line, "partitions must be >= 1");
+  }
+  if (const auto* x = r.opt("strategy")) {
+    const std::string field = r.path_of("strategy");
+    const std::string& s = x->as_string(field);
+    if (s == "auto") policy.strategy = PartitionStrategy::kAuto;
+    else if (s == "block") policy.strategy = PartitionStrategy::kBlock;
+    else
+      fail(SpecError::Code::kBadValue, field, x->line,
+           "unknown strategy '" + s + "' (expected \"auto\" or \"block\")");
+  }
+  if (const auto* x = r.opt("threads"))
+    policy.threads = static_cast<std::size_t>(x->as_u64(r.path_of("threads")));
+  if (const auto* x = r.opt("deterministic_merge"))
+    policy.deterministic_merge = x->as_bool(r.path_of("deterministic_merge"));
+  r.finish();
+  return policy;
+}
+
+/// Defaults elided field-by-field so a spec that only sets `partitions`
+/// round-trips as exactly {"partitions": N}.
+[[nodiscard]] JsonValue execution_to_json(const ExecutionPolicy& policy) {
+  const ExecutionPolicy def{};
+  JsonValue o = JsonValue::make_object();
+  if (policy.backend)
+    o.set("backend", JsonValue::make_string(*policy.backend == sim::QueueBackend::kBinaryHeap
+                                                ? "binary_heap"
+                                                : "calendar_queue"));
+  if (policy.partitions != def.partitions)
+    o.set("partitions",
+          JsonValue::make_number(static_cast<std::uint64_t>(policy.partitions)));
+  if (policy.strategy != def.strategy) o.set("strategy", JsonValue::make_string("block"));
+  if (policy.threads != def.threads)
+    o.set("threads", JsonValue::make_number(static_cast<std::uint64_t>(policy.threads)));
+  if (policy.deterministic_merge != def.deterministic_merge)
+    o.set("deterministic_merge", JsonValue::make_bool(policy.deterministic_merge));
+  return o;
+}
+
 JsonValue sweep_to_json(const SweepSpec& sweep) {
   JsonValue o = JsonValue::make_object();
   if (sweep.mode == SweepSpec::Mode::kZip) o.set("mode", JsonValue::make_string("zip"));
@@ -1006,16 +1065,12 @@ ScenarioSpec parse_scenario_spec(const JsonValue& document) {
   s.name = "scenario";
   if (const auto* x = r.opt("name")) s.name = x->as_string("name");
   if (const auto* x = r.opt("seed")) s.topology.seed = x->as_u64("seed");
-  if (const auto* x = r.opt("backend")) {
-    const std::string& b = x->as_string("backend");
-    if (b == "binary_heap") s.topology.backend = sim::QueueBackend::kBinaryHeap;
-    else if (b == "calendar_queue") s.topology.backend = sim::QueueBackend::kCalendarQueue;
-    else if (b == "auto") s.topology.backend = std::nullopt;
-    else
-      fail(SpecError::Code::kBadValue, "backend", x->line,
-           "unknown backend '" + b +
-               "' (expected \"binary_heap\", \"calendar_queue\", or \"auto\")");
-  }
+  // Top-level "backend" is the deprecated alias for execution.backend; both
+  // parse, and the builder resolves the precedence (execution wins).
+  if (const auto* x = r.opt("backend"))
+    s.topology.backend = parse_backend_name(*x, "backend");
+  if (const auto* x = r.opt("execution"))
+    s.topology.execution = parse_execution(*x, "execution");
 
   const JsonValue& nodes = r.req("nodes");
   if (!nodes.is_array())
@@ -1094,6 +1149,10 @@ JsonValue scenario_spec_to_json(const ScenarioSpec& spec) {
                                         ? "binary_heap"
                                         : "calendar_queue"));
   }
+  // Emitted only when non-default, so pre-execution specs (and all the
+  // goldens) stay byte-identical through a round trip.
+  if (!spec.topology.execution.is_default())
+    root.set("execution", execution_to_json(spec.topology.execution));
 
   JsonValue nodes = JsonValue::make_array();
   for (const auto& n : spec.topology.nodes) nodes.array.push_back(JsonValue::make_string(n));

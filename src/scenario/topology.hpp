@@ -14,6 +14,7 @@
 
 #include "net/data_rate.hpp"
 #include "net/queue.hpp"
+#include "scenario/execution.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 #include "tcp/congestion_control.hpp"
@@ -93,9 +94,14 @@ struct TopologySpec {
   std::vector<LinkSpec> links;
   std::vector<FlowSpec> flows;
   std::uint64_t seed{1};
-  /// Event-queue backend; unset = auto-select from the spec's estimated
-  /// pending-event density (see ScenarioBuilder::auto_backend).
+  /// Deprecated alias for execution.backend, kept so existing specs (and
+  /// their JSON round-trips) stay byte-identical. An explicitly set
+  /// execution.backend wins over this field.
   std::optional<sim::QueueBackend> backend{};
+  /// How to execute the built scenario: queue backend, partition count and
+  /// strategy, thread budget. Defaults reproduce the classic
+  /// single-scheduler run.
+  ExecutionPolicy execution{};
 };
 
 /// Typed spec-validation error. Derives from std::invalid_argument so
@@ -112,6 +118,8 @@ class TopologyError : public std::invalid_argument {
     kDuplicateFlowId,  ///< two flows with the same id share an endpoint node
     kUnroutableFlow,   ///< no path between a flow's endpoints
     kNullCcFactory,    ///< build() called with an empty factory
+    kBadExecution,     ///< invalid ExecutionPolicy (e.g. partitions == 0)
+    kZeroLatencyCut,   ///< a cross-partition link has zero latency (no lookahead)
   };
 
   TopologyError(Code code, const std::string& what)

@@ -6,6 +6,7 @@ TopologySpec WanPath::make_spec(const Config& config) {
   TopologySpec spec;
   spec.seed = config.seed;
   spec.backend = config.backend;
+  spec.execution = config.execution;
   spec.nodes = {"sender", "receiver"};
 
   LinkSpec wan;

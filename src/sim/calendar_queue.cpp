@@ -9,6 +9,7 @@ namespace {
 
 bool entry_before(const EventEntry& a, const EventEntry& b) {
   if (a.at != b.at) return a.at < b.at;
+  if (a.birth != b.birth) return a.birth < b.birth;
   return a.seq < b.seq;
 }
 
@@ -81,12 +82,12 @@ const EventEntry& CalendarQueue::peek_min() const {
   return buckets_[*min_bucket_cache_].front();
 }
 
-bool CalendarQueue::remove(Time at, std::uint64_t seq) {
+bool CalendarQueue::remove(Time at, Time birth, std::uint64_t seq) {
   if (size_ == 0) return false;
   auto& bucket = buckets_[bucket_of(at)];
-  const EventEntry probe{at, seq, 0, 0};
+  const EventEntry probe{at, birth, seq, 0, 0};
   const auto it = std::lower_bound(bucket.begin(), bucket.end(), probe, entry_before);
-  if (it == bucket.end() || it->at != at || it->seq != seq) return false;
+  if (it == bucket.end() || it->at != at || it->birth != birth || it->seq != seq) return false;
   min_bucket_cache_.reset();
   bucket.erase(it);
   --size_;

@@ -8,15 +8,25 @@
 namespace rss::sim {
 
 /// One queued occurrence of a scheduled event — the single entry type both
-/// Scheduler backends (binary heap and CalendarQueue) store. It is a 24-byte
+/// Scheduler backends (binary heap and CalendarQueue) store. It is a 32-byte
 /// trivially-copyable handle: the callback itself lives in the Scheduler's
 /// slot arena, addressed by `slot` and validated by `gen` (a generation
 /// counter that detects stale entries left behind by lazy cancellation and
-/// slot reuse). `seq` is the global insertion sequence that tie-breaks
-/// same-timestamp events, which is what keeps pop order — and therefore
-/// every reproduced artifact — deterministic across backends.
+/// slot reuse).
+///
+/// Pop order is (at, birth, seq). `birth` is the simulation time at which
+/// the event was inserted and `seq` the per-scheduler insertion sequence.
+/// For a single simulation birth is non-decreasing in seq (now() never runs
+/// backwards), so the birth tie-break is provably inert there — pop order
+/// is plain (time, insertion-sequence), which keeps every reproduced
+/// artifact deterministic across backends. The field exists for partitioned
+/// execution: a cross-partition handoff is physically inserted late (at the
+/// window boundary drain) but carries the source's transmit time as its
+/// birth, which restores the insertion order a single-scheduler run would
+/// have produced for same-timestamp events.
 struct EventEntry {
   Time at;
+  Time birth;
   std::uint64_t seq{0};
   std::uint32_t slot{0};
   std::uint32_t gen{0};

@@ -23,22 +23,23 @@ EventId Scheduler::schedule_train(Time start, Time stride, std::uint64_t count,
     if (stride_ns != 0 && count - 1 > headroom / stride_ns)
       throw std::invalid_argument("Scheduler: train extends beyond representable time");
   }
-  return arm(start, stride, count, std::move(cb));
+  return arm(start, stride, count, std::move(cb), now_);
 }
 
-EventId Scheduler::arm(Time at, Time stride, std::uint64_t count, Callback cb) {
+EventId Scheduler::arm(Time at, Time stride, std::uint64_t count, Callback cb, Time birth) {
   if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
   if (!cb) throw std::invalid_argument("Scheduler: null callback");
   const std::uint32_t index = acquire_slot();
   Slot& slot = slots_[index];
   slot.cb = std::move(cb);
   slot.at = at;
+  slot.birth = birth;
   slot.stride = stride;
   slot.seq = next_seq_++;
   slot.remaining = count;
   slot.armed = true;
   ++live_;
-  push_entry(EventEntry{at, slot.seq, index, slot.gen});
+  push_entry(EventEntry{at, birth, slot.seq, index, slot.gen});
   return EventId{index, slot.gen};
 }
 
@@ -83,7 +84,7 @@ bool Scheduler::cancel(EventId id) {
     // May find nothing when a train's current occurrence is mid-flight
     // (popped, callback executing): releasing the slot below is what stops
     // the train from re-enqueueing.
-    (void)calendar_.remove(slot.at, slot.seq);
+    (void)calendar_.remove(slot.at, slot.birth, slot.seq);
   }
   release_slot(index);
   if (backend_ == QueueBackend::kBinaryHeap) skim_dead_heap_top();
@@ -143,8 +144,9 @@ bool Scheduler::step() {
     if (slot.armed && slot.gen == entry.gen) {
       slot.cb = std::move(cb);
       slot.at = entry.at + slot.stride;
+      slot.birth = now_;  // re-enqueued at fire time, like the chained pattern
       slot.seq = next_seq_++;
-      push_entry(EventEntry{slot.at, slot.seq, entry.slot, slot.gen});
+      push_entry(EventEntry{slot.at, slot.birth, slot.seq, entry.slot, slot.gen});
     }
   }
   return true;

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <queue>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -58,7 +59,7 @@ class EventId {
 ///
 /// The event core is allocation-free on the hot path. Callbacks are
 /// InlineCallback (small-buffer, no heap fallback) and live in a slot
-/// arena recycled through a free list; both backends store only the 24-byte
+/// arena recycled through a free list; both backends store only the 32-byte
 /// POD EventEntry. Cancellation resolves an EventId to its slot in O(1)
 /// with no hashing — the TCP retransmission timer is rescheduled on every
 /// ACK, so this path is hot. The heap backend cancels lazily (the pop loop
@@ -82,7 +83,21 @@ class Scheduler {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `cb` at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Callback cb) { return arm(at, Time::zero(), 1, std::move(cb)); }
+  EventId schedule_at(Time at, Callback cb) {
+    return arm(at, Time::zero(), 1, std::move(cb), now_);
+  }
+
+  /// Schedule `cb` at `at` as if it had been inserted at time `birth`
+  /// (birth <= at). Same-timestamp events pop in (birth, insertion) order,
+  /// so this lets a cross-partition drain — which physically inserts at the
+  /// window boundary — give a handoff the tie-break rank its source-side
+  /// transmit time would have earned in a single-scheduler run. For
+  /// ordinary scheduling use schedule_at, which passes birth = now().
+  EventId schedule_at_from(Time birth, Time at, Callback cb) {
+    if (birth > at)
+      throw std::invalid_argument("Scheduler: event born after its own fire time");
+    return arm(at, Time::zero(), 1, std::move(cb), birth);
+  }
 
   /// Schedule `cb` after relative delay `delay` (must be >= 0).
   EventId schedule_in(Time delay, Callback cb) {
@@ -141,6 +156,7 @@ class Scheduler {
   struct Slot {
     Callback cb;
     Time at;
+    Time birth;
     Time stride;
     std::uint64_t seq{0};
     std::uint64_t remaining{0};
@@ -150,11 +166,12 @@ class Scheduler {
   struct Later {
     bool operator()(const EventEntry& a, const EventEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.birth != b.birth) return a.birth > b.birth;
       return a.seq > b.seq;
     }
   };
 
-  EventId arm(Time at, Time stride, std::uint64_t count, Callback cb);
+  EventId arm(Time at, Time stride, std::uint64_t count, Callback cb, Time birth);
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
   void push_entry(const EventEntry& entry);

@@ -172,7 +172,7 @@ TEST_P(RandomScheduleTest, CalendarQueueAgreesWithHeapOrder) {
   for (std::size_t i = 0; i < plan.events; ++i) {
     const Time at = Time::nanoseconds(static_cast<std::int64_t>(
         rng.next_in(0, static_cast<std::uint64_t>(plan.horizon_ns))));
-    const EventEntry entry{at, i, static_cast<std::uint32_t>(i), 1};
+    const EventEntry entry{at, Time::zero(), i, static_cast<std::uint32_t>(i), 1};
     entries.push_back(entry);
     cal.push(entry);
   }
@@ -208,7 +208,7 @@ TEST_P(RandomScheduleTest, CalendarQueueInterleavedPushPop) {
     for (std::uint64_t b = 0; b < burst; ++b) {
       const Time at = now + Time::nanoseconds(static_cast<std::int64_t>(
                                 rng.next_in(0, 1'000'000)));
-      cal.push(EventEntry{at, seq++, 0, 1});
+      cal.push(EventEntry{at, Time::zero(), seq++, 0, 1});
     }
     if (!cal.empty() && rng.next_bool(0.7)) {
       const auto entry = cal.pop_min();
@@ -242,8 +242,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CalendarQueueTest, ResizesUnderLoad) {
   CalendarQueue cal{16, Time::microseconds(1)};
   for (std::uint64_t i = 0; i < 1000; ++i) {
-    cal.push(EventEntry{Time::nanoseconds(static_cast<std::int64_t>(i * 137 % 100000)), i,
-                        static_cast<std::uint32_t>(i), 1});
+    cal.push(EventEntry{Time::nanoseconds(static_cast<std::int64_t>(i * 137 % 100000)),
+                        Time::zero(), i, static_cast<std::uint32_t>(i), 1});
   }
   EXPECT_GT(cal.resizes(), 0u);
   EXPECT_GT(cal.day_count(), 16u);
@@ -257,9 +257,10 @@ TEST(CalendarQueueTest, ResizesUnderLoad) {
 
 TEST(CalendarQueueTest, RejectsPastPushAndEmptyPop) {
   CalendarQueue cal;
-  cal.push(EventEntry{Time::milliseconds(5), 1, 0, 1});
+  cal.push(EventEntry{Time::milliseconds(5), Time::zero(), 1, 0, 1});
   (void)cal.pop_min();
-  EXPECT_THROW(cal.push(EventEntry{Time::milliseconds(1), 2, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(cal.push(EventEntry{Time::milliseconds(1), Time::zero(), 2, 0, 1}),
+               std::invalid_argument);
   EXPECT_THROW((void)cal.pop_min(), std::logic_error);
 }
 
