@@ -240,6 +240,63 @@ SmokeResult smoke_scale(std::size_t partitions, double budget_seconds) {
   return r;
 }
 
+/// The hybrid-engine leg: the 3-hop parking lot under heavy per-hop cross
+/// traffic (8 Reno aggregates per hop), once all-packet and once with the
+/// cross traffic fluidized into rate-ODE aggregates. Both variants simulate
+/// the same horizon, so the wall-time-per-simulated-second ratio printed by
+/// run_smoke is the speedup fluidization buys on cross-traffic studies;
+/// events/sec stays the regression-gated engine-throughput metric for each
+/// variant.
+SmokeResult smoke_parkinglot_fluid(bool fluid, double budget_seconds, double* wall_per_sim) {
+  SmokeResult r;
+  constexpr std::int64_t kHorizonSeconds = 20;
+  std::uint64_t sim_seconds = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (r.seconds < budget_seconds) {
+    scenario::ParkingLot::Config cfg;
+    cfg.cross_flows_per_hop = 8;
+    cfg.access_rate = net::DataRate::mbps(100);
+    cfg.fluid_cross = fluid;
+    scenario::ParkingLot lot{cfg, scenario::uniform_cc(scenario::make_reno_factory())};
+    lot.start_all(sim::Time::zero());
+    lot.simulation().run_until(sim::Time::seconds(kHorizonSeconds));
+    r.events += lot.simulation().scheduler().events_executed();
+    sim_seconds += static_cast<std::uint64_t>(kHorizonSeconds);
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  if (wall_per_sim != nullptr && sim_seconds > 0) {
+    *wall_per_sim = r.seconds / static_cast<double>(sim_seconds);
+  }
+  return r;
+}
+
+/// Partitioned fluid integration: the ScaleMesh preset shape with every
+/// segment-local flow fluidized (trunk cross traffic stays packet), at 1
+/// and 4 partitions. Exercises the per-partition FluidDriver tick on top
+/// of the partitioned engine — regressions here catch fluid-tick overhead
+/// and partition-local integration slowdowns that the all-packet
+/// scale_mesh leg can't see.
+SmokeResult smoke_scale_fluid(std::size_t partitions, double budget_seconds) {
+  SmokeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (r.seconds < budget_seconds) {
+    scenario::ScaleMesh::Config cfg;
+    cfg.segments = 4;
+    cfg.flows_per_segment = 25;
+    cfg.cross_flows_per_segment = 5;
+    cfg.fluid_local = true;
+    scenario::TopologySpec spec = scenario::ScaleMesh::make_spec(cfg);
+    spec.execution.partitions = partitions;
+    auto s = scenario::ScenarioBuilder{spec}.build(scenario::make_reno_factory());
+    for (std::size_t i = 0; i < spec.flows.size(); ++i)
+      s->start_flow(i, sim::Time::zero());
+    s->run_until(1_s);
+    r.events += s->events_executed();
+    r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  return r;
+}
+
 /// Pure scheduler churn: the schedule/cancel/reschedule storm of the
 /// per-ACK RTO path, plus trains, with no protocol work diluting it.
 SmokeResult smoke_churn(sim::QueueBackend backend, double budget_seconds) {
@@ -304,6 +361,21 @@ int run_smoke(const std::vector<std::string>& args) {
     std::cout << "scale_mesh partitions_4 / partitions_1 speedup: "
               << parted / serial << "x\n";
   }
+  // bench_fluid: the hybrid fluid/packet engine. The headline number is the
+  // wall-time ratio — how much faster the same simulated horizon completes
+  // once the heavy cross traffic is fluidized.
+  double packet_wall_per_sim = 0.0;
+  double fluid_wall_per_sim = 0.0;
+  rows.push_back({"parking_lot_3hop_fluid", "packet_cross",
+                  smoke_parkinglot_fluid(false, budget, &packet_wall_per_sim)});
+  rows.push_back({"parking_lot_3hop_fluid", "fluid_cross",
+                  smoke_parkinglot_fluid(true, budget, &fluid_wall_per_sim)});
+  if (fluid_wall_per_sim > 0) {
+    std::cout << "parking_lot_3hop_fluid packet_cross / fluid_cross wall-time speedup: "
+              << packet_wall_per_sim / fluid_wall_per_sim << "x\n";
+  }
+  rows.push_back({"scale_fluid", "partitions_1", smoke_scale_fluid(1, budget)});
+  rows.push_back({"scale_fluid", "partitions_4", smoke_scale_fluid(4, budget)});
 
   std::ofstream out{out_path};
   if (!out) {

@@ -241,6 +241,12 @@ HOTPATH_FILES = (
     "src/sim/partition.cpp",
     "src/net/cross_link.hpp",
     "src/net/cross_link.cpp",
+    # The fluid integrator ticks once per stride for the whole run; its
+    # sources/couplings/driver (net/fluid.*) and the queue coupling surface
+    # it drives (net/queue.hpp) are steady-state hot path too.
+    "src/net/fluid.hpp",
+    "src/net/fluid.cpp",
+    "src/net/queue.hpp",
 )
 HOTPATH_BANNED = [
     (re.compile(r"std::function\b"), "std::function (type-erased heap closure)"),

@@ -1,0 +1,31 @@
+#pragma once
+
+namespace rss::control {
+
+/// A (remaining_delay, value) pair queued inside a dead-time delay line.
+/// Plants and the fluid traffic integrator share this shape so the helper
+/// below works over any deque-like container of it.
+struct DelayedValue {
+  double remaining;
+  double value;
+};
+
+/// Advance a (remaining_delay, value) FIFO by dt and return the value that
+/// is currently emerging from the dead-time line.
+template <typename Deque>
+double advance_delay_line(Deque& line, double& current, double u, double dead_time,
+                          double dt) {
+  if (dead_time <= 0.0) {
+    current = u;
+    return current;
+  }
+  line.push_back({dead_time, u});
+  for (auto& e : line) e.remaining -= dt;
+  while (!line.empty() && line.front().remaining <= 0.0) {
+    current = line.front().value;
+    line.pop_front();
+  }
+  return current;
+}
+
+}  // namespace rss::control

@@ -5,27 +5,6 @@
 #include <stdexcept>
 
 namespace rss::control {
-namespace {
-
-/// Advance a (remaining_delay, value) FIFO by dt and return the value that
-/// is currently emerging from the dead-time line.
-template <typename Deque>
-double advance_delay_line(Deque& line, double& current, double u, double dead_time,
-                          double dt) {
-  if (dead_time <= 0.0) {
-    current = u;
-    return current;
-  }
-  line.push_back({dead_time, u});
-  for (auto& e : line) e.remaining -= dt;
-  while (!line.empty() && line.front().remaining <= 0.0) {
-    current = line.front().value;
-    line.pop_front();
-  }
-  return current;
-}
-
-}  // namespace
 
 FirstOrderPlant::FirstOrderPlant(double gain, double tau, double dead_time, double)
     : k_{gain}, tau_{tau}, dead_time_{dead_time} {

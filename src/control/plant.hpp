@@ -4,6 +4,7 @@
 #include <deque>
 #include <vector>
 
+#include "control/delay_line.hpp"
 #include "control/oscillation.hpp"
 
 namespace rss::control {
@@ -45,10 +46,6 @@ class FirstOrderPlant final : public Plant {
   double dead_time_;
   double y_{0.0};
   // Dead-time as a FIFO of (remaining_delay, value) pairs.
-  struct DelayedValue {
-    double remaining;
-    double value;
-  };
   std::deque<DelayedValue> delay_line_;
   double current_delayed_{0.0};
 };
@@ -73,10 +70,6 @@ class IntegratorPlant final : public Plant {
   double dead_time_;
   double y_min_, y_max_;
   double y_{0.0};
-  struct DelayedValue {
-    double remaining;
-    double value;
-  };
   std::deque<DelayedValue> delay_line_;
   double current_delayed_{0.0};
 };

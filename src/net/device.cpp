@@ -1,5 +1,7 @@
 #include "net/device.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -32,12 +34,21 @@ void NetDevice::try_start_tx() {
   // callback instead of one heap push per packet. Packets still leave the
   // IFQ one at a time at their serialization start, so queue occupancy (the
   // PID process variable and RED's input) is identical to the chained form.
-  const std::size_t run = ifq_->equal_size_run(kMaxTxTrain);
+  // Under a fluid share the slot length depends on the share at arming
+  // time, which the coupling may change between any two completions — so
+  // trains are disabled (run of one) and every slot is stretched to the
+  // residual rate (1 − share).
+  const std::size_t run = ifq_->equal_size_run(fluid_share_ > 0.0 ? 1 : kMaxTxTrain);
   if (run == 0) return;
   busy_ = true;
   serializing_ = *ifq_->dequeue();
   train_left_ = run;
-  const sim::Time slot = rate_.transmission_time(serializing_.size_bytes());
+  sim::Time slot = rate_.transmission_time(serializing_.size_bytes());
+  if (fluid_share_ > 0.0) {
+    const double stretched =
+        std::ceil(static_cast<double>(slot.nanoseconds_count()) / (1.0 - fluid_share_));
+    slot = sim::Time::nanoseconds(static_cast<std::int64_t>(stretched));
+  }
   const auto fire = [this] { complete_tx(); };
   static_assert(sizeof(fire) <= sim::InlineCallback::kCapacity,
                 "serialization callback must stay inline on the scheduler hot path");
@@ -60,6 +71,12 @@ void NetDevice::complete_tx() {
   busy_ = false;
   if (link_) link_->transmit_from(*this, p);
   try_start_tx();
+}
+
+void NetDevice::set_fluid_share(double share) {
+  // Clamp below 1 so the stretched serialization slot stays finite even
+  // when the fluid aggregate momentarily claims the whole line.
+  fluid_share_ = std::clamp(share, 0.0, 0.98);
 }
 
 void NetDevice::deliver_up(const Packet& p) {

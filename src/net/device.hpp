@@ -69,6 +69,9 @@ class NetDevice {
   [[nodiscard]] sim::Simulation& simulation() const { return sim_; }
 
   [[nodiscard]] const PacketQueue& ifq() const { return *ifq_; }
+  /// Mutable IFQ access for the fluid coupling, which pushes the aggregate's
+  /// virtual backlog into the queue between events.
+  [[nodiscard]] PacketQueue& mutable_ifq() { return *ifq_; }
   [[nodiscard]] DataRate rate() const { return rate_; }
   [[nodiscard]] const DeviceStats& stats() const { return stats_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -80,6 +83,13 @@ class NetDevice {
     return ifq_->size_packets() + (busy_ ? 1u : 0u);
   }
   [[nodiscard]] std::size_t ifq_capacity() const { return ifq_->capacity_packets(); }
+
+  /// Fraction of line rate consumed by a fluid aggregate sharing this
+  /// device (0 = all-packet). While nonzero, packet serialization slots are
+  /// stretched to rate·(1 − share) and event trains are disabled so the
+  /// share can change between any two completions.
+  void set_fluid_share(double share);
+  [[nodiscard]] double fluid_share() const { return fluid_share_; }
 
  private:
   /// Longest serialization train armed in one go. Bounds how far ahead the
@@ -103,6 +113,7 @@ class NetDevice {
   Packet serializing_{};
   /// Completions left in the current serialization train (0 when idle).
   std::uint64_t train_left_{0};
+  double fluid_share_{0.0};
   bool busy_{false};
 };
 

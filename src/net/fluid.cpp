@@ -1,0 +1,228 @@
+#include "net/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "net/device.hpp"
+#include "sim/inline_callback.hpp"
+
+namespace rss::net {
+
+namespace {
+
+/// Cap on the fluid aggregate's share of a line so the residual packet
+/// serialization rate stays finite (matches NetDevice::set_fluid_share).
+constexpr double kMaxFluidShare = 0.98;
+
+/// Fraction of the packet class's arrival share reserved as buffer
+/// headroom when publishing virtual occupancy (see the reserve comment in
+/// FluidQueueCoupling::step). 1.0 shields packet flows from nearly every
+/// fluid overflow episode; 0.0 exposes them to all of them. Calibrated on
+/// the parking-lot equivalence study: foreground goodput and loss
+/// frequency track the all-packet run closest mid-range.
+constexpr double kPacketBufferShare = 0.85;
+
+}  // namespace
+
+FluidSource::FluidSource(FluidOptions opt, std::string name)
+    : opt_{opt}, name_{std::move(name)} {
+  if (opt_.stride <= sim::Time::zero())
+    throw std::invalid_argument("FluidSource: stride must be > 0");
+  if (opt_.rtt <= sim::Time::zero()) throw std::invalid_argument("FluidSource: rtt must be > 0");
+  if (opt_.packet_bytes == 0) throw std::invalid_argument("FluidSource: zero packet size");
+  if (opt_.decrease <= 0.0 || opt_.decrease >= 1.0)
+    throw std::invalid_argument("FluidSource: decrease factor must be in (0, 1)");
+  if (opt_.initial_rate.bits_per_second() == 0)
+    throw std::invalid_argument("FluidSource: zero initial rate");
+}
+
+void FluidSource::start() {
+  if (started_) return;
+  started_ = true;
+  rate_bps_ = static_cast<double>(opt_.initial_rate.bits_per_second());
+  const double peak = peak_rate_bps();
+  rate_bps_ = std::clamp(rate_bps_, min_rate_bps(), peak);
+}
+
+void FluidSource::begin_interval(double dt) {
+  if (!started_) return;
+  offered_bytes_ += rate_bps_ * dt / 8.0;
+}
+
+bool FluidSource::note_loss(sim::Time now) {
+  if (!started_) return false;
+  if (now < next_decrease_at_) return false;
+  pending_decrease_ = true;
+  next_decrease_at_ = now + opt_.rtt;
+  return true;
+}
+
+void FluidSource::end_interval(sim::Time /*now*/, double dt) {
+  if (!started_) return;
+  const double rtt = opt_.rtt.to_seconds();
+  if (pending_decrease_) {
+    pending_decrease_ = false;
+    slow_start_ = false;
+    rate_bps_ *= opt_.decrease;
+  } else if (slow_start_) {
+    // Slow-start analog: the rate doubles once per RTT until the first
+    // loss, so a fresh aggregate pressures the bottleneck on the same
+    // timescale a packet TCP's exponential window ramp would.
+    rate_bps_ *= std::exp2(dt / rtt);
+  } else {
+    // TCP-friendly additive increase: one packet per RTT per RTT.
+    rate_bps_ += static_cast<double>(opt_.packet_bytes) * 8.0 / (rtt * rtt) * dt;
+  }
+  rate_bps_ = std::clamp(rate_bps_, min_rate_bps(), peak_rate_bps());
+}
+
+double FluidSource::min_rate_bps() const {
+  // One packet per RTT — the floor TCP never drops below while alive.
+  return static_cast<double>(opt_.packet_bytes) * 8.0 / opt_.rtt.to_seconds();
+}
+
+double FluidSource::peak_rate_bps() const {
+  return opt_.peak_rate.bits_per_second() > 0
+             ? static_cast<double>(opt_.peak_rate.bits_per_second())
+             : std::numeric_limits<double>::max();
+}
+
+double FluidSink::goodput_mbps(sim::Time t0, sim::Time t1) const {
+  if (t1 <= t0) return 0.0;
+  return delivered_bytes() * 8.0 / (t1 - t0).to_seconds() / 1e6;
+}
+
+FluidQueueCoupling::FluidQueueCoupling(NetDevice& device) : device_{&device} {}
+
+void FluidQueueCoupling::add_source(FluidSource* source) {
+  if (source == nullptr) throw std::invalid_argument("FluidQueueCoupling: null source");
+  if (sources_.empty()) {
+    packet_bytes_ = source->options().packet_bytes;
+  } else {
+    packet_bytes_ = std::max(packet_bytes_, source->options().packet_bytes);
+  }
+  sources_.push_back(source);
+}
+
+void FluidQueueCoupling::step(sim::Time now, double dt) {
+  PacketQueue& queue = device_->mutable_ifq();
+
+  const double cap_bytes = static_cast<double>(device_->rate().bits_per_second()) * dt / 8.0;
+  double fluid_arrival = 0.0;
+  for (const FluidSource* s : sources_) fluid_arrival += s->rate_bps() * dt / 8.0;
+  const double fluid_demand = backlog_bytes_ + fluid_arrival;
+
+  // Packet demand over the interval: bytes newly offered to the queue
+  // (enqueued or dropped — drops still competed for room) plus the bytes
+  // that were already waiting when the interval began.
+  const QueueStats& st = queue.stats();
+  const std::uint64_t counter = st.bytes_enqueued + st.bytes_dropped;
+  const double pkt_new = static_cast<double>(counter - prev_pkt_bytes_counter_);
+  const double pkt_demand = pkt_new + static_cast<double>(prev_queue_bytes_);
+  const double total_demand = fluid_demand + pkt_demand;
+
+  // Proportional-share FIFO: under load the line splits pro rata between
+  // the two demand classes; underloaded, everything fluid is served.
+  double share = 0.0;
+  if (fluid_demand > 0.0 && cap_bytes > 0.0) {
+    share = total_demand <= cap_bytes ? fluid_demand / cap_bytes : fluid_demand / total_demand;
+    share = std::min(share, kMaxFluidShare);
+  }
+  const double served = std::min(fluid_demand, share * cap_bytes);
+  double backlog = fluid_demand - served;
+
+  // Backlog beyond the room real packets leave is shed: those bytes would
+  // have been drops for packet cross-traffic, so attribute them pro rata
+  // and raise the loss signal.
+  const std::size_t cap_packets = queue.capacity_packets();
+  const std::size_t real_packets = queue.size_packets();
+  const std::size_t room_packets = cap_packets > real_packets ? cap_packets - real_packets : 0;
+  const double room_bytes =
+      static_cast<double>(room_packets) * static_cast<double>(packet_bytes_);
+  if (backlog > room_bytes) {
+    const double overflow = backlog - room_bytes;
+    backlog = room_bytes;
+    double total_rate = 0.0;
+    for (const FluidSource* s : sources_) total_rate += s->rate_bps();
+    if (total_rate > 0.0) {
+      // Every contributing aggregate takes the loss signal, like the drop
+      // burst of a drop-tail overflow episode hits every flow with packets
+      // in flight; the per-source RTT epoch keeps a sustained overflow from
+      // halving anyone more than once per window. Symmetry with the packet
+      // class matters more than desynchronization here: real packet flows
+      // sharing the queue also lose once per overflow episode.
+      for (FluidSource* s : sources_) {
+        const double frac = s->rate_bps() / total_rate;
+        if (frac <= 0.0) continue;
+        s->add_dropped_bytes(overflow * frac);
+        (void)s->note_loss(now);
+      }
+    }
+  }
+
+  backlog_bytes_ = backlog;
+  std::size_t virtual_packets = static_cast<std::size_t>(
+      std::llround(backlog / static_cast<double>(packet_bytes_)));
+  virtual_packets = std::min(virtual_packets, room_packets);
+  // Published occupancy reserves the packet class's arrival share of the
+  // buffer: in a real FIFO the classes' packets interleave, so a flow with
+  // a quarter of the arrivals keeps roughly a quarter of the slots and
+  // escapes most overflow episodes. Without the reserve, every fluid
+  // sawtooth peak would cost the packet flows a drop — a synchronization
+  // real multiplexing doesn't have.
+  const double arrivals = fluid_arrival + pkt_new;
+  const double pkt_frac = arrivals > 0.0 ? pkt_new / arrivals : 0.0;
+  const std::size_t reserve = static_cast<std::size_t>(
+      std::ceil(kPacketBufferShare * pkt_frac * static_cast<double>(cap_packets)));
+  if (cap_packets > reserve) {
+    virtual_packets = std::min(virtual_packets, cap_packets - reserve);
+  }
+  queue.set_virtual_backlog(virtual_packets, static_cast<std::size_t>(backlog));
+  device_->set_fluid_share(share);
+
+  prev_pkt_bytes_counter_ = counter;
+  prev_queue_bytes_ = queue.size_bytes();
+}
+
+FluidDriver::FluidDriver(sim::Simulation& simulation, sim::Time stride)
+    : sim_{simulation}, stride_{stride} {
+  if (stride_ <= sim::Time::zero()) throw std::invalid_argument("FluidDriver: stride must be > 0");
+}
+
+void FluidDriver::add_source(FluidSource* source) {
+  if (source == nullptr) throw std::invalid_argument("FluidDriver: null source");
+  sources_.push_back(source);
+}
+
+void FluidDriver::add_coupling(FluidQueueCoupling* coupling) {
+  if (coupling == nullptr) throw std::invalid_argument("FluidDriver: null coupling");
+  couplings_.push_back(coupling);
+}
+
+void FluidDriver::start() {
+  if (armed_) return;
+  armed_ = true;
+  const auto fire = [this] { tick(); };
+  static_assert(sizeof(fire) <= sim::InlineCallback::kCapacity,
+                "fluid tick callback must stay inline on the scheduler hot path");
+  sim_.in(stride_, fire);
+}
+
+void FluidDriver::tick() {
+  const double dt = stride_.to_seconds();
+  const sim::Time now = sim_.now();
+  // Three phases so every coupling sees the same pre-update rates: offer
+  // the interval's bytes, couple them into the queues, then adapt rates
+  // from the loss signals the couplings raised. Registration order cannot
+  // change the outcome of a tick.
+  for (FluidSource* s : sources_) s->begin_interval(dt);
+  for (FluidQueueCoupling* c : couplings_) c->step(now, dt);
+  for (FluidSource* s : sources_) s->end_interval(now, dt);
+  const auto fire = [this] { tick(); };
+  sim_.in(stride_, fire);
+}
+
+}  // namespace rss::net

@@ -23,7 +23,7 @@ DropTailQueue::DropTailQueue(std::size_t capacity_packets) : capacity_{capacity_
 }
 
 bool DropTailQueue::enqueue(const Packet& p) {
-  if (queue_.size() >= capacity_) {
+  if (queue_.size() + virtual_packets_ >= capacity_) {
     ++stats_.dropped;
     stats_.bytes_dropped += p.size_bytes();
     return false;
@@ -60,12 +60,14 @@ RedQueue::RedQueue(Options opt, sim::Rng rng) : opt_{opt}, rng_{rng} {
 bool RedQueue::enqueue(const Packet& p) {
   // EWMA of instantaneous occupancy, updated on every arrival (the
   // idle-period refinement is omitted; our links rarely idle mid-run).
+  // Virtual (fluid) backlog counts toward occupancy so AQM pressure
+  // matches what packet cross-traffic would exert.
   avg_ = (1.0 - opt_.queue_weight) * avg_ +
-         opt_.queue_weight * static_cast<double>(queue_.size());
+         opt_.queue_weight * static_cast<double>(queue_.size() + virtual_packets_);
 
   bool drop = false;
   bool early = false;
-  if (queue_.size() >= opt_.capacity_packets || avg_ >= opt_.max_threshold) {
+  if (queue_.size() + virtual_packets_ >= opt_.capacity_packets || avg_ >= opt_.max_threshold) {
     drop = true;  // forced drop: hard full or average beyond max threshold
   } else if (avg_ > opt_.min_threshold) {
     // Linear ramp p_b, then the 1/(1 - count·p_b) uniformization from the

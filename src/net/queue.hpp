@@ -56,13 +56,36 @@ class PacketQueue {
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
   /// Occupancy as a fraction of packet capacity — the PID process variable.
+  /// Includes the virtual (fluid) backlog so controllers and AQM see the
+  /// same pressure packet cross-traffic would exert.
   [[nodiscard]] double fill_fraction() const {
     const std::size_t cap = capacity_packets();
-    return cap ? static_cast<double>(size_packets()) / static_cast<double>(cap) : 0.0;
+    if (cap == 0) return 0.0;
+    return static_cast<double>(size_packets() + virtual_packets_) / static_cast<double>(cap);
   }
+
+  /// Total byte depth: real queued bytes plus the virtual fluid backlog.
+  /// This is the introspection surface the fluid coupling reads — no
+  /// friend-class poking at implementation deques.
+  [[nodiscard]] std::size_t byte_depth() const { return size_bytes() + virtual_bytes_; }
+
+  /// Install the fluid aggregate's share of this queue's occupancy. A
+  /// FluidQueueCoupling calls this once per integration stride; admission
+  /// policies treat the virtual packets as if they were real occupants so
+  /// foreground flows see the depth trajectory packet cross-traffic would
+  /// produce.
+  void set_virtual_backlog(std::size_t packets, std::size_t bytes) {
+    virtual_packets_ = packets;
+    virtual_bytes_ = bytes;
+  }
+
+  [[nodiscard]] std::size_t virtual_packets() const { return virtual_packets_; }
+  [[nodiscard]] std::size_t virtual_bytes() const { return virtual_bytes_; }
 
  protected:
   QueueStats stats_;
+  std::size_t virtual_packets_{0};
+  std::size_t virtual_bytes_{0};
 };
 
 /// Classic tail-drop FIFO bounded in packets — the Linux `txqueuelen`

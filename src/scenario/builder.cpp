@@ -1,6 +1,8 @@
 #include "scenario/builder.hpp"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <stdexcept>
 
 #include "net/cross_link.hpp"
@@ -11,6 +13,45 @@ namespace {
 
 constexpr std::uint64_t edge_key(std::size_t a, std::size_t b) {
   return (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+}
+
+/// One hop of a flow's shortest-path route: the egress device (node +
+/// device index), the neighbor it leads to, and the spec link it rides.
+struct RouteHop {
+  std::size_t node;
+  std::size_t device;
+  std::size_t next;
+  std::size_t link;
+};
+
+/// Walk src -> dst through the forwarding tables. `link_of_edge` maps
+/// edge_key(a, b) to the spec link index for every directly linked pair.
+[[nodiscard]] std::vector<RouteHop> walk_route(
+    const RouteTable& routes, const std::map<std::uint64_t, std::size_t>& link_of_edge,
+    std::size_t src, std::size_t dst) {
+  std::vector<RouteHop> hops;
+  std::size_t n = src;
+  while (n != dst) {
+    const std::size_t dev = routes.egress(n, dst);
+    std::size_t next = RouteTable::kUnreachable;
+    for (const auto& [neighbor, device] : routes.adjacency[n]) {
+      if (device == dev) {
+        next = neighbor;
+        break;
+      }
+    }
+    if (next == RouteTable::kUnreachable)
+      throw std::logic_error("walk_route: egress device without an adjacency entry");
+    hops.push_back({n, dev, next, link_of_edge.at(edge_key(n, next))});
+    n = next;
+  }
+  return hops;
+}
+
+/// Line rate of the egress device a hop serializes through.
+[[nodiscard]] net::DataRate hop_rate(const TopologySpec& spec, const RouteHop& hop) {
+  const LinkSpec& link = spec.links[hop.link];
+  return *node_index(spec, link.a) == hop.node ? link.a_dev.rate : link.b_dev.rate;
 }
 
 /// `rng` is the stream RED queues fork from, in link-device order. For a
@@ -100,6 +141,57 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
                           "topology: no path from '" + flow.src + "' to '" + flow.dst + "'");
   }
 
+  // Fluid pre-pass: walk every flow's route once. Fluid routes are pinned
+  // into one partition (their integration must stay local) and their
+  // bottleneck contention decides which devices get a FluidQueueCoupling —
+  // a device is coupled iff foreground packets cross it too, or the fluid
+  // aggregates alone can oversubscribe its line.
+  std::map<std::uint64_t, std::size_t> link_of_edge;
+  for (std::size_t l = 0; l < spec_.links.size(); ++l) {
+    const std::size_t a = *node_index(spec_, spec_.links[l].a);
+    const std::size_t b = *node_index(spec_, spec_.links[l].b);
+    link_of_edge.emplace(edge_key(a, b), l);
+    link_of_edge.emplace(edge_key(b, a), l);
+  }
+  std::vector<std::vector<RouteHop>> fluid_routes(spec_.flows.size());
+  std::vector<net::FluidOptions> fluid_opts(spec_.flows.size());
+  std::set<std::uint64_t> packet_devices;     // edge_key(node, device index)
+  std::map<std::uint64_t, double> fluid_peak_sum;  // same key -> Σ capped peaks (bps)
+  std::set<std::size_t> pinned_links;
+  for (std::size_t f = 0; f < spec_.flows.size(); ++f) {
+    const auto& flow = spec_.flows[f];
+    const std::size_t src = *node_index(spec_, flow.src);
+    const std::size_t dst = *node_index(spec_, flow.dst);
+    if (flow.model != TrafficModel::kFluid) {
+      // Foreground packets contend on the data path and the ACK path.
+      for (const RouteHop& hop : walk_route(routes, link_of_edge, src, dst))
+        packet_devices.insert(edge_key(hop.node, hop.device));
+      for (const RouteHop& hop : walk_route(routes, link_of_edge, dst, src))
+        packet_devices.insert(edge_key(hop.node, hop.device));
+      continue;
+    }
+    fluid_routes[f] = walk_route(routes, link_of_edge, src, dst);
+    net::FluidOptions opt = flow.fluid;
+    net::DataRate min_rate = net::DataRate::bps(0);
+    sim::Time one_way = sim::Time::zero();
+    for (const RouteHop& hop : fluid_routes[f]) {
+      pinned_links.insert(hop.link);
+      const net::DataRate rate = hop_rate(spec_, hop);
+      if (min_rate.bits_per_second() == 0 || rate < min_rate) min_rate = rate;
+      one_way = one_way + spec_.links[hop.link].delay;
+    }
+    // Cap the peak at the route's narrowest line and derive an unset RTT
+    // from the route's propagation delay.
+    if (opt.peak_rate.bits_per_second() == 0 || min_rate < opt.peak_rate)
+      opt.peak_rate = min_rate;
+    if (opt.rtt == sim::Time::zero()) opt.rtt = one_way + one_way;
+    if (opt.initial_rate > opt.peak_rate) opt.initial_rate = opt.peak_rate;
+    fluid_opts[f] = opt;
+    for (const RouteHop& hop : fluid_routes[f])
+      fluid_peak_sum[edge_key(hop.node, hop.device)] +=
+          static_cast<double>(opt.peak_rate.bits_per_second());
+  }
+
   // Resolve the execution policy; spec.backend is the deprecated alias and
   // loses to an explicitly set execution.backend, and the process-wide
   // defaults (CLI --backend/--partitions) are the lowest-precedence layer.
@@ -125,9 +217,22 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
     edges.reserve(spec_.links.size());
     for (const auto& link : spec_.links)
       edges.push_back({*node_index(spec_, link.a), *node_index(spec_, link.b), link.delay});
+    // Fluid routes are mandatory intra-partition: their links are pinned
+    // (united before any other merge), so fluid integration never crosses
+    // a HandoffChannel and the lookahead window is untouched by fluid.
+    const std::vector<std::size_t> pinned(pinned_links.begin(), pinned_links.end());
     assignment = policy.strategy == PartitionStrategy::kBlock
                      ? sim::partition_blocks(spec_.nodes.size(), requested)
-                     : sim::partition_by_latency(spec_.nodes.size(), edges, requested);
+                     : sim::partition_by_latency(spec_.nodes.size(), edges, requested, pinned);
+    for (const std::size_t l : pinned_links) {
+      if (assignment[edges[l].a] != assignment[edges[l].b])
+        throw TopologyError(Code::kFluidRouteCut,
+                            "execution: link '" + spec_.links[l].a + "' -- '" +
+                                spec_.links[l].b +
+                                "' carries a fluid flow but the partitioning splits it; "
+                                "fluid routes must stay within one partition (use the "
+                                "latency strategy, which pins them)");
+    }
     for (std::size_t e = 0; e < edges.size(); ++e) {
       if (assignment[edges[e].a] != assignment[edges[e].b] &&
           edges[e].latency < sim::Time::nanoseconds(1))
@@ -232,12 +337,65 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
   // Flows: receiver first, then sender (the order the hand-wired
   // scenarios used), then the optional Web100 agent. Each endpoint object
   // is wired to its own node's partition.
+  // Per-partition fluid integration stride: the finest stride any of the
+  // partition's aggregates asked for (one driver ticks them all).
+  std::vector<sim::Time> driver_stride(parts, sim::Time::zero());
+  std::vector<net::FluidDriver*> driver_of(parts, nullptr);
+  std::map<net::NetDevice*, net::FluidQueueCoupling*> coupling_of;
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    if (spec.flows[f].model != TrafficModel::kFluid) continue;
+    const std::uint32_t p = assignment[scenario->index_of(spec.flows[f].src)];
+    const sim::Time stride = fluid_opts[f].stride;
+    if (driver_stride[p] == sim::Time::zero() || stride < driver_stride[p])
+      driver_stride[p] = stride;
+  }
+
   for (std::size_t f = 0; f < spec.flows.size(); ++f) {
     const auto& flow = spec.flows[f];
     const std::size_t src = scenario->index_of(flow.src);
     const std::size_t dst = scenario->index_of(flow.dst);
     const std::uint32_t flow_id =
         flow.flow_id != 0 ? flow.flow_id : static_cast<std::uint32_t>(f + 1);
+
+    if (flow.model == TrafficModel::kFluid) {
+      Scenario::FlowRuntime runtime;
+      runtime.src_sim = &sim_of_node(src);
+      runtime.fluid_source = std::make_unique<net::FluidSource>(
+          fluid_opts[f], flow.src + "~>" + flow.dst);
+      runtime.fluid_sink = std::make_unique<net::FluidSink>(*runtime.fluid_source);
+
+      const std::uint32_t p = assignment[src];
+      if (driver_of[p] == nullptr) {
+        scenario->fluid_drivers_.push_back(
+            std::make_unique<net::FluidDriver>(sim_of_node(src), driver_stride[p]));
+        driver_of[p] = scenario->fluid_drivers_.back().get();
+      }
+      driver_of[p]->add_source(runtime.fluid_source.get());
+
+      // Couple only where contention is real: devices foreground packets
+      // also cross, or devices the fluid aggregates alone can saturate.
+      // Uncoupled hops cost nothing per stride — that sparsity is where
+      // the wall-time win comes from.
+      for (const RouteHop& hop : fluid_routes[f]) {
+        net::NetDevice& dev = scenario->nodes_[hop.node]->device(hop.device);
+        const std::uint64_t key = edge_key(hop.node, hop.device);
+        const double line_bps = static_cast<double>(dev.rate().bits_per_second());
+        const bool shared_with_packets = packet_devices.count(key) != 0;
+        const bool oversubscribed = fluid_peak_sum[key] > line_bps;
+        if (!shared_with_packets && !oversubscribed) continue;
+        net::FluidQueueCoupling*& coupling = coupling_of[&dev];
+        if (coupling == nullptr) {
+          scenario->fluid_couplings_.push_back(
+              std::make_unique<net::FluidQueueCoupling>(dev));
+          coupling = scenario->fluid_couplings_.back().get();
+          driver_of[p]->add_coupling(coupling);
+        }
+        coupling->add_source(runtime.fluid_source.get());
+      }
+
+      scenario->flows_.push_back(std::move(runtime));
+      continue;
+    }
 
     Scenario::FlowRuntime runtime;
     runtime.src_sim = &sim_of_node(src);
@@ -266,6 +424,11 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
 
     scenario->flows_.push_back(std::move(runtime));
   }
+
+  // Arm the fluid drivers once everything is registered: each partition's
+  // tick is a single self-rescheduling event regardless of how many
+  // aggregates it integrates.
+  for (const auto& driver : scenario->fluid_drivers_) driver->start();
 
   // Spec-declared starts, scheduled after every flow is wired so flow
   // construction order never interleaves with start events.
@@ -298,8 +461,35 @@ std::uint64_t Scenario::events_executed() const {
   return total;
 }
 
+tcp::TcpSender* Scenario::checked_sender(std::size_t i) {
+  FlowRuntime& flow = flows_.at(i);
+  if (!flow.sender)
+    throw std::logic_error("Scenario: flow " + std::to_string(i) +
+                           " is fluid and has no TcpSender; use fluid_source()/fluid_sink()");
+  return flow.sender.get();
+}
+
+net::FluidSource& Scenario::fluid_source(std::size_t i) {
+  FlowRuntime& flow = flows_.at(i);
+  if (!flow.fluid_source)
+    throw std::logic_error("Scenario: flow " + std::to_string(i) + " is packet-level");
+  return *flow.fluid_source;
+}
+
+const net::FluidSink& Scenario::fluid_sink(std::size_t i) const {
+  const FlowRuntime& flow = flows_.at(i);
+  if (!flow.fluid_sink)
+    throw std::logic_error("Scenario: flow " + std::to_string(i) + " is packet-level");
+  return *flow.fluid_sink;
+}
+
 void Scenario::start_flow(std::size_t i, sim::Time at) {
   FlowRuntime& flow = flows_.at(i);
+  if (flow.fluid_source) {
+    net::FluidSource* source = flow.fluid_source.get();
+    flow.src_sim->at(at, [source] { source->start(); });
+    return;
+  }
   tcp::TcpSender* sender = flow.sender.get();
   flow.src_sim->at(at, [sender] { sender->set_unlimited(true); });
 }
@@ -307,7 +497,10 @@ void Scenario::start_flow(std::size_t i, sim::Time at) {
 std::vector<double> Scenario::goodputs_mbps(sim::Time t0, sim::Time t1) const {
   std::vector<double> out;
   out.reserve(flows_.size());
-  for (const auto& flow : flows_) out.push_back(flow.sender->goodput_mbps(t0, t1));
+  for (const auto& flow : flows_) {
+    out.push_back(flow.fluid_sink ? flow.fluid_sink->goodput_mbps(t0, t1)
+                                  : flow.sender->goodput_mbps(t0, t1));
+  }
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/fluid.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "scenario/topology.hpp"
@@ -59,11 +60,19 @@ class Scenario {
 
   // --- flows (indices follow spec.flows order) ---
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
-  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return *flows_.at(i).sender; }
+  /// True when flow i is a fluid aggregate (no TCP endpoints).
+  [[nodiscard]] bool is_fluid(std::size_t i) const {
+    return flows_.at(i).fluid_source != nullptr;
+  }
+  /// TCP sender of flow i; throws std::logic_error for a fluid flow.
+  [[nodiscard]] tcp::TcpSender& sender(std::size_t i) { return *checked_sender(i); }
   [[nodiscard]] const tcp::TcpSender& sender(std::size_t i) const {
-    return *flows_.at(i).sender;
+    return *const_cast<Scenario*>(this)->checked_sender(i);
   }
   [[nodiscard]] tcp::TcpReceiver& receiver(std::size_t i) { return *flows_.at(i).receiver; }
+  /// Fluid endpoints of flow i; throw std::logic_error for a packet flow.
+  [[nodiscard]] net::FluidSource& fluid_source(std::size_t i);
+  [[nodiscard]] const net::FluidSink& fluid_sink(std::size_t i) const;
   /// Web100 agent for flow i, or nullptr when the spec didn't ask for one.
   [[nodiscard]] web100::PollingAgent* agent(std::size_t i) { return flows_.at(i).agent.get(); }
 
@@ -101,10 +110,13 @@ class Scenario {
     std::unique_ptr<tcp::TcpReceiver> receiver;
     std::unique_ptr<tcp::TcpSender> sender;
     std::unique_ptr<web100::PollingAgent> agent;
+    std::unique_ptr<net::FluidSource> fluid_source;  ///< set iff model == kFluid
+    std::unique_ptr<net::FluidSink> fluid_sink;
     sim::Simulation* src_sim{nullptr};  ///< partition the sender lives on
   };
 
   [[nodiscard]] std::size_t index_of(std::string_view name) const;
+  [[nodiscard]] tcp::TcpSender* checked_sender(std::size_t i);
 
   TopologySpec spec_;
   RouteTable routes_;
@@ -118,6 +130,11 @@ class Scenario {
   std::vector<std::unique_ptr<net::Node>> nodes_;
   std::vector<std::unique_ptr<net::PointToPointLink>> links_;
   std::vector<FlowRuntime> flows_;
+  /// Fluid machinery, in deterministic first-touch order: one coupling per
+  /// bottleneck device fluid traffic contends on, one driver per partition
+  /// that hosts fluid flows.
+  std::vector<std::unique_ptr<net::FluidQueueCoupling>> fluid_couplings_;
+  std::vector<std::unique_ptr<net::FluidDriver>> fluid_drivers_;
   std::unordered_map<std::string, std::size_t> node_index_;
   /// (node index, peer index) -> egress device, for the named-device lookup.
   std::unordered_map<std::uint64_t, net::NetDevice*> device_by_edge_;

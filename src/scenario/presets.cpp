@@ -79,21 +79,26 @@ TopologySpec ParkingLot::make_spec(const Config& config) {
     }
   }
 
-  const auto add_flow = [&](const std::string& src, const std::string& dst) {
+  const auto add_flow = [&](const std::string& src, const std::string& dst, bool cross) {
     FlowSpec flow;
     flow.src = src;
     flow.dst = dst;
-    flow.sender = config.sender;
-    flow.sender.mss = config.mss;
-    flow.receiver = config.receiver;
+    if (cross && config.fluid_cross) {
+      flow.model = TrafficModel::kFluid;
+      flow.fluid = config.fluid_options;
+    } else {
+      flow.sender = config.sender;
+      flow.sender.mss = config.mss;
+      flow.receiver = config.receiver;
+    }
     spec.flows.push_back(std::move(flow));
   };
 
-  add_flow("src", "dst");  // flow 0: end-to-end across every hop
+  add_flow("src", "dst", false);  // flow 0: end-to-end across every hop
   for (std::size_t h = 0; h < config.hops; ++h) {
     for (std::size_t k = 0; k < config.cross_flows_per_hop; ++k) {
       const std::string suffix = std::to_string(h) + "_" + std::to_string(k);
-      add_flow("xs" + suffix, "xd" + suffix);
+      add_flow("xs" + suffix, "xd" + suffix, true);
     }
   }
   return spec;
@@ -264,14 +269,19 @@ TopologySpec ScaleMesh::make_spec(const Config& config) {
     }
   }
 
-  const auto add_flow = [&](const std::string& src, const std::string& dst) {
+  const auto add_flow = [&](const std::string& src, const std::string& dst, bool local) {
     FlowSpec flow;
     flow.src = src;
     flow.dst = dst;
     flow.start = config.start_all;
-    flow.sender = config.sender;
-    flow.sender.mss = config.mss;
-    flow.receiver = config.receiver;
+    if (local && config.fluid_local) {
+      flow.model = TrafficModel::kFluid;
+      flow.fluid = config.fluid_options;
+    } else {
+      flow.sender = config.sender;
+      flow.sender.mss = config.mss;
+      flow.receiver = config.receiver;
+    }
     spec.flows.push_back(std::move(flow));
   };
 
@@ -279,10 +289,10 @@ TopologySpec ScaleMesh::make_spec(const Config& config) {
   // the index math in local_flow()/cross_flow() depends on this order.
   for (std::size_t i = 0; i < config.segments; ++i)
     for (std::size_t k = 0; k < config.flows_per_segment; ++k)
-      add_flow(seg("hL", i), seg("hR", i));
+      add_flow(seg("hL", i), seg("hR", i), true);
   for (std::size_t i = 0; i + 1 < config.segments; ++i)
     for (std::size_t k = 0; k < config.cross_flows_per_segment; ++k)
-      add_flow(seg("hL", i), seg("hR", i + 1));
+      add_flow(seg("hL", i), seg("hR", i + 1), false);
   return spec;
 }
 

@@ -51,6 +51,13 @@ class ParkingLot {
     std::uint32_t mss{1460};
     tcp::TcpSender::Options sender{};      ///< ids/mss overwritten per flow
     tcp::TcpReceiver::Options receiver{};  ///< ids overwritten per flow
+    /// Model the per-hop cross traffic as fluid aggregates instead of
+    /// packet flows (the hybrid fluid/packet configuration); the
+    /// end-to-end flow always stays packet-level.
+    bool fluid_cross{false};
+    /// Fluid parameters for the cross aggregates when fluid_cross is set
+    /// (peak auto-capped at the route line rate, RTT derived if zero).
+    net::FluidOptions fluid_options{};
   };
 
   [[nodiscard]] static TopologySpec make_spec(const Config& config);
@@ -195,6 +202,11 @@ class ScaleMesh {
     std::optional<sim::Time> start_all{};
     tcp::TcpSender::Options sender{};      ///< ids/mss overwritten per flow
     tcp::TcpReceiver::Options receiver{};  ///< ids overwritten per flow
+    /// Model each segment's local flows as fluid aggregates; trunk cross
+    /// flows stay packet-level (they are what exercises the handoff).
+    bool fluid_local{false};
+    /// Fluid parameters for the local aggregates when fluid_local is set.
+    net::FluidOptions fluid_options{};
   };
 
   [[nodiscard]] static TopologySpec make_spec(const Config& config);

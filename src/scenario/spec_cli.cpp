@@ -69,10 +69,17 @@ struct FlowResult {
   // against the end state.
   const std::size_t flow_count = spec.topology.flows.size();
   std::vector<FlowCounters> at_start(flow_count);
+  // Fluid aggregates have no MIB; their window delta is delivered bytes.
+  std::vector<double> fluid_at_start(flow_count, 0.0);
   if (!spec.run.measure_start.is_zero()) {
     scenario->simulation().at(spec.run.measure_start, [&] {
-      for (std::size_t i = 0; i < flow_count; ++i)
-        at_start[i] = counters_of(scenario->sender(i));
+      for (std::size_t i = 0; i < flow_count; ++i) {
+        if (scenario->is_fluid(i)) {
+          fluid_at_start[i] = scenario->fluid_sink(i).delivered_bytes();
+        } else {
+          at_start[i] = counters_of(scenario->sender(i));
+        }
+      }
     });
   }
   scenario->run_until(spec.run.duration);
@@ -81,6 +88,13 @@ struct FlowResult {
   std::vector<FlowResult> flows;
   flows.reserve(flow_count);
   for (std::size_t i = 0; i < flow_count; ++i) {
+    if (scenario->is_fluid(i)) {
+      FlowResult r;
+      const double delivered = scenario->fluid_sink(i).delivered_bytes() - fluid_at_start[i];
+      r.goodput_mbps = window_s > 0 ? delivered * 8.0 / window_s / 1e6 : 0.0;
+      flows.push_back(r);
+      continue;
+    }
     const FlowCounters end = counters_of(scenario->sender(i));
     FlowResult r;
     r.goodput_mbps = window_s > 0
@@ -175,7 +189,7 @@ metrics::Table run_spec_file(const std::string& path, const ExecFlags& exec) {
 // --- presets as specs -----------------------------------------------------
 
 std::vector<std::string> preset_names() {
-  return {"wanpath", "dumbbell", "parkinglot", "chain", "scale"};
+  return {"wanpath", "dumbbell", "parkinglot", "chain", "scale", "scale_fluid"};
 }
 
 ScenarioSpec preset_spec(const std::string& name) {
@@ -200,9 +214,23 @@ ScenarioSpec preset_spec(const std::string& name) {
     cfg.cross_flows_per_segment = 2;
     cfg.execution.partitions = 4;
     spec.topology = ScaleMesh::make_spec(cfg);
+  } else if (name == "scale_fluid") {
+    // The hybrid configuration of the scale preset: segment-local flows are
+    // fluid aggregates (trunk cross traffic stays packet), still across 4
+    // partitions. Round-tripping it pins the fluid flow-spec serialization,
+    // and running it under --jobs exercises partition-local fluid ticks on
+    // the threaded engine.
+    ScaleMesh::Config cfg;
+    cfg.segments = 4;
+    cfg.flows_per_segment = 8;
+    cfg.cross_flows_per_segment = 2;
+    cfg.fluid_local = true;
+    cfg.execution.partitions = 4;
+    spec.topology = ScaleMesh::make_spec(cfg);
   } else {
-    throw std::invalid_argument("unknown preset: " + name +
-                                " (known: wanpath, dumbbell, parkinglot, chain, scale)");
+    throw std::invalid_argument(
+        "unknown preset: " + name +
+        " (known: wanpath, dumbbell, parkinglot, chain, scale, scale_fluid)");
   }
   spec.flow_cc.assign(spec.topology.flows.size(), "reno");
   return spec;
@@ -295,6 +323,15 @@ int cmd_list_presets() {
   scenario->run_until(sim::Time::seconds(2));
   std::vector<std::uint64_t> out;
   for (std::size_t i = 0; i < spec.topology.flows.size(); ++i) {
+    if (scenario->is_fluid(i)) {
+      // Fluid flows have no MIB; the delivered-byte ledger (exact in
+      // double for these magnitudes) plays the same role.
+      out.push_back(static_cast<std::uint64_t>(scenario->fluid_sink(i).delivered_bytes()));
+      out.push_back(0);
+      out.push_back(0);
+      out.push_back(0);
+      continue;
+    }
     const web100::Mib& mib = scenario->sender(i).mib();
     out.push_back(mib.ThruBytesAcked);
     out.push_back(mib.PktsOut);

@@ -770,6 +770,27 @@ void parse_receiver_options(const JsonValue& v, const std::string& path,
   r.finish();
 }
 
+void parse_fluid_options(const JsonValue& v, const std::string& path, net::FluidOptions& o) {
+  ObjectReader r{v, path};
+  if (const auto* x = r.opt("initial_rate"))
+    o.initial_rate = parse_rate(x->as_string(r.path_of("initial_rate")), r.path_of("initial_rate"));
+  if (const auto* x = r.opt("peak_rate"))
+    o.peak_rate = parse_rate(x->as_string(r.path_of("peak_rate")), r.path_of("peak_rate"));
+  if (const auto* x = r.opt("stride"))
+    o.stride = parse_time(x->as_string(r.path_of("stride")), r.path_of("stride"));
+  if (const auto* x = r.opt("packet_bytes"))
+    o.packet_bytes = as_checked_unsigned<std::uint32_t>(*x, r.path_of("packet_bytes"));
+  if (const auto* x = r.opt("rtt"))
+    o.rtt = parse_time(x->as_string(r.path_of("rtt")), r.path_of("rtt"));
+  if (const auto* x = r.opt("decrease")) {
+    const std::string field = r.path_of("decrease");
+    o.decrease = x->as_double(field);
+    if (o.decrease <= 0.0 || o.decrease >= 1.0)
+      fail(SpecError::Code::kBadValue, field, x->line, "decrease factor must be in (0, 1)");
+  }
+  r.finish();
+}
+
 FlowSpec parse_flow(const JsonValue& v, const std::string& path, std::string& cc) {
   ObjectReader r{v, path};
   FlowSpec f;
@@ -779,6 +800,31 @@ FlowSpec parse_flow(const JsonValue& v, const std::string& path, std::string& cc
     f.flow_id = as_checked_unsigned<std::uint32_t>(*x, r.path_of("id"));
   if (const auto* x = r.opt("start"))
     f.start = parse_time(x->as_string(r.path_of("start")), r.path_of("start"));
+  if (const auto* x = r.opt("model")) {
+    const std::string& m = x->as_string(r.path_of("model"));
+    if (m == "packet") f.model = TrafficModel::kPacket;
+    else if (m == "fluid") f.model = TrafficModel::kFluid;
+    else
+      fail(SpecError::Code::kBadValue, r.path_of("model"), x->line,
+           "unknown traffic model '" + m + "' (expected \"packet\" or \"fluid\")");
+  }
+  if (f.model == TrafficModel::kFluid) {
+    // A fluid aggregate has no TCP machinery: reject the packet-only
+    // fields outright instead of silently ignoring them.
+    for (const char* key : {"cc", "sender", "receiver", "web100"}) {
+      if (const auto* x = r.opt(key))
+        fail(SpecError::Code::kBadValue, r.path_of(key), x->line,
+             std::string{"\""} + key + "\" is packet-only; a fluid flow takes its "
+             "dynamics from \"fluid\"");
+    }
+    if (const auto* x = r.opt("fluid")) parse_fluid_options(*x, r.path_of("fluid"), f.fluid);
+    cc = "reno";  // placeholder; never consulted for fluid flows
+    r.finish();
+    return f;
+  }
+  if (const auto* x = r.opt("fluid"))
+    fail(SpecError::Code::kBadValue, r.path_of("fluid"), x->line,
+         "fluid options require \"model\": \"fluid\"");
   cc = "reno";
   if (const auto* x = r.opt("cc")) {
     cc = x->as_string(r.path_of("cc"));
@@ -951,6 +997,21 @@ JsonValue receiver_to_json(const tcp::TcpReceiver::Options& o) {
   return j;
 }
 
+JsonValue fluid_to_json(const net::FluidOptions& o) {
+  const net::FluidOptions def{};
+  JsonValue j = JsonValue::make_object();
+  if (o.initial_rate != def.initial_rate)
+    j.set("initial_rate", JsonValue::make_string(format_rate(o.initial_rate)));
+  if (o.peak_rate != def.peak_rate)
+    j.set("peak_rate", JsonValue::make_string(format_rate(o.peak_rate)));
+  if (o.stride != def.stride) j.set("stride", JsonValue::make_string(format_time(o.stride)));
+  if (o.packet_bytes != def.packet_bytes)
+    j.set("packet_bytes", JsonValue::make_number(static_cast<std::uint64_t>(o.packet_bytes)));
+  if (o.rtt != def.rtt) j.set("rtt", JsonValue::make_string(format_time(o.rtt)));
+  if (o.decrease != def.decrease) j.set("decrease", JsonValue::make_number(o.decrease));
+  return j;
+}
+
 JsonValue flow_to_json(const FlowSpec& f, const std::string& cc) {
   JsonValue o = JsonValue::make_object();
   o.set("src", JsonValue::make_string(f.src));
@@ -958,6 +1019,12 @@ JsonValue flow_to_json(const FlowSpec& f, const std::string& cc) {
   if (f.flow_id != 0)
     o.set("id", JsonValue::make_number(static_cast<std::uint64_t>(f.flow_id)));
   if (f.start) o.set("start", JsonValue::make_string(format_time(*f.start)));
+  if (f.model == TrafficModel::kFluid) {
+    o.set("model", JsonValue::make_string("fluid"));
+    JsonValue fluid = fluid_to_json(f.fluid);
+    if (!fluid.object.empty()) o.set("fluid", std::move(fluid));
+    return o;
+  }
   o.set("cc", JsonValue::make_string(cc));
   JsonValue sender = sender_to_json(f.sender);
   if (!sender.object.empty()) o.set("sender", std::move(sender));

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/data_rate.hpp"
+#include "net/fluid.hpp"
 #include "net/queue.hpp"
 #include "scenario/execution.hpp"
 #include "sim/scheduler.hpp"
@@ -69,6 +70,13 @@ struct LinkSpec {
   DeviceSpec b_dev{};
 };
 
+/// Traffic class of a flow: full packet-level TCP, or a fluid rate-ODE
+/// aggregate folded into bottleneck queues at an integration stride.
+enum class TrafficModel {
+  kPacket,  ///< packet-level TCP (default; the paper's foreground flows)
+  kFluid,   ///< AIMD rate ODE + virtual queue backlog (background aggregates)
+};
+
 /// A bulk TCP flow between two named endpoint nodes.
 struct FlowSpec {
   std::string src;
@@ -84,6 +92,14 @@ struct FlowSpec {
   /// Attach a Web100-style PollingAgent to this flow's sender MIB.
   bool web100{false};
   sim::Time web100_poll_period{sim::Time::milliseconds(100)};
+  /// Packet (default) or fluid. Fluid flows ignore sender/receiver/web100
+  /// and take their dynamics from `fluid`; spec files reject the combination
+  /// outright.
+  TrafficModel model{TrafficModel::kPacket};
+  /// Fluid aggregate parameters, honoured when model == kFluid. An unset
+  /// (zero) rtt is derived by the builder as twice the route's one-way
+  /// delay; a zero peak_rate is capped at the route's minimum line rate.
+  net::FluidOptions fluid{};
 };
 
 /// A network described as data: nodes, duplex links, flows. Build it with
@@ -120,6 +136,7 @@ class TopologyError : public std::invalid_argument {
     kNullCcFactory,    ///< build() called with an empty factory
     kBadExecution,     ///< invalid ExecutionPolicy (e.g. partitions == 0)
     kZeroLatencyCut,   ///< a cross-partition link has zero latency (no lookahead)
+    kFluidRouteCut,    ///< a partitioning splits a fluid flow's route across partitions
   };
 
   TopologyError(Code code, const std::string& what)

@@ -70,9 +70,13 @@ std::vector<std::uint32_t> renumber(DisjointSets& sets, std::size_t node_count) 
 
 std::vector<std::uint32_t> partition_by_latency(std::size_t node_count,
                                                 const std::vector<PartitionEdge>& edges,
-                                                std::size_t parts) {
+                                                std::size_t parts,
+                                                const std::vector<std::size_t>& pinned) {
   if (parts == 0) throw std::invalid_argument("partition_by_latency: parts must be >= 1");
   check_edges(node_count, edges);
+  for (const std::size_t i : pinned) {
+    if (i >= edges.size()) throw std::out_of_range("partition_by_latency: pinned edge index");
+  }
 
   std::vector<std::size_t> order(edges.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -86,6 +90,13 @@ std::vector<std::uint32_t> partition_by_latency(std::size_t node_count,
   const std::size_t target = std::min(parts, std::max<std::size_t>(node_count, 1));
   const std::size_t cap =
       node_count == 0 ? 0 : (node_count + parts - 1) / parts;
+
+  // Pass 0: pinned edges are mandatory merges — united first, in index
+  // order, with no size cap. Everything these edges connect is guaranteed
+  // to land in one partition.
+  for (const std::size_t i : pinned) {
+    if (sets.unite(edges[i].a, edges[i].b)) --components;
+  }
 
   // Pass 1: merge cheapest edges first, but never grow a partition past the
   // balance cap.

@@ -41,8 +41,14 @@ struct PartitionEdge {
 /// Returns one partition label per node, contiguous 0..P-1, numbered by
 /// first appearance in node order. P can exceed `parts` only when the graph
 /// itself has more connected components than `parts`.
+///
+/// `pinned` lists edge indices (into `edges`) whose endpoints must share a
+/// partition: they are united first, in index order, ignoring the balance
+/// cap. The builder pins every edge on a fluid flow's route so fluid
+/// integration stays partition-local and never crosses a HandoffChannel.
 [[nodiscard]] std::vector<std::uint32_t> partition_by_latency(
-    std::size_t node_count, const std::vector<PartitionEdge>& edges, std::size_t parts);
+    std::size_t node_count, const std::vector<PartitionEdge>& edges, std::size_t parts,
+    const std::vector<std::size_t>& pinned = {});
 
 /// Contiguous blocks of the node order: node i goes to partition
 /// i * parts / node_count. Ignores the edge structure entirely — useful in
