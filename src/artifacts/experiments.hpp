@@ -19,6 +19,7 @@ namespace rss::artifacts {
 /// Extensions beyond the paper (bench/ext_*).
 [[nodiscard]] Experiment make_ext_fairness_experiment();
 [[nodiscard]] Experiment make_ext_hybrid_fluid_experiment();
+[[nodiscard]] Experiment make_ext_modern_cc_experiment();
 [[nodiscard]] Experiment make_ext_parkinglot_experiment();
 [[nodiscard]] Experiment make_ext_sack_experiment();
 [[nodiscard]] Experiment make_ext_specdriven_experiment();

@@ -14,6 +14,7 @@ void register_builtin_experiments(ExperimentRegistry& registry) {
   registry.add(make_abl_setpoint_experiment());
   registry.add(make_ext_fairness_experiment());
   registry.add(make_ext_hybrid_fluid_experiment());
+  registry.add(make_ext_modern_cc_experiment());
   registry.add(make_ext_parkinglot_experiment());
   registry.add(make_ext_sack_experiment());
   registry.add(make_ext_specdriven_experiment());

@@ -1,0 +1,142 @@
+#include "net/codel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/simulation.hpp"
+
+namespace rss::net {
+
+CodelQueue::CodelQueue(Options opt, const sim::Simulation& sim) : opt_{opt}, sim_{sim} {
+  if (opt_.capacity_packets == 0) throw std::invalid_argument("CodelQueue: zero capacity");
+  if (opt_.target <= sim::Time::zero())
+    throw std::invalid_argument("CodelQueue: target must be > 0");
+  if (opt_.interval <= sim::Time::zero())
+    throw std::invalid_argument("CodelQueue: interval must be > 0");
+}
+
+bool CodelQueue::enqueue(const Packet& p) {
+  if (queue_.size() + virtual_packets_ >= opt_.capacity_packets) {
+    ++stats_.dropped;
+    stats_.bytes_dropped += p.size_bytes();
+    ++tail_drops_;
+    return false;
+  }
+  Packet admitted = p;
+  maybe_step_mark(admitted, queue_.size() + virtual_packets_);
+  queue_.push_back(Entry{admitted, sim_.now()});
+  bytes_ += admitted.size_bytes();
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += admitted.size_bytes();
+  stats_.peak_packets = std::max(stats_.peak_packets, queue_.size());
+  return true;
+}
+
+sim::Time CodelQueue::control_law(sim::Time t) const {
+  // Next drop in interval / sqrt(count): drop frequency grows until the
+  // standing delay falls below target.
+  const double ns = static_cast<double>(opt_.interval.nanoseconds_count()) /
+                    std::sqrt(static_cast<double>(std::max<std::uint32_t>(count_, 1)));
+  return t + sim::Time::nanoseconds(static_cast<std::int64_t>(std::llround(ns)));
+}
+
+std::optional<CodelQueue::Popped> CodelQueue::pop_head(sim::Time now) {
+  if (queue_.empty()) {
+    first_above_time_ = sim::Time::zero();
+    return std::nullopt;
+  }
+  Popped out{queue_.front(), false};
+  queue_.pop_front();
+  bytes_ -= out.entry.packet.size_bytes();
+
+  const sim::Time sojourn = now - out.entry.enqueued_at;
+  // "Below one MTU" exit: with a single packet left (or none) there is no
+  // standing queue to control. This also guarantees the last packet is
+  // delivered, never shed (device contract — see the class comment).
+  if (sojourn < opt_.target || queue_.empty()) {
+    first_above_time_ = sim::Time::zero();
+  } else {
+    if (first_above_time_ == sim::Time::zero()) {
+      first_above_time_ = now + opt_.interval;
+    } else if (now >= first_above_time_) {
+      out.ok_to_drop = true;
+    }
+  }
+  return out;
+}
+
+std::optional<Packet> CodelQueue::dequeue() {
+  const sim::Time now = sim_.now();
+  std::optional<Popped> head = pop_head(now);
+  if (!head) {
+    dropping_ = false;
+    return std::nullopt;
+  }
+
+  auto shed = [this](Entry& e) -> bool {
+    // Returns true when the packet was CE-marked (and must be delivered)
+    // rather than dropped.
+    ++law_drops_;
+    if (e.packet.ect && !e.packet.ce) {
+      e.packet.ce = true;
+      ++stats_.ce_marked;
+      return true;
+    }
+    ++stats_.dropped;
+    stats_.bytes_dropped += e.packet.size_bytes();
+    return false;
+  };
+
+  if (dropping_) {
+    if (!head->ok_to_drop) {
+      dropping_ = false;
+    } else {
+      while (dropping_ && now >= drop_next_) {
+        ++count_;
+        if (shed(head->entry)) {
+          // Marked, not dropped: the packet leaves normally; pace the next
+          // action with the control law.
+          drop_next_ = control_law(drop_next_);
+          break;
+        }
+        head = pop_head(now);
+        if (!head) {
+          dropping_ = false;
+          return std::nullopt;
+        }
+        if (!head->ok_to_drop) {
+          dropping_ = false;
+        } else {
+          drop_next_ = control_law(drop_next_);
+        }
+      }
+    }
+  } else if (head->ok_to_drop) {
+    // Enter the dropping state. If the previous episode ended recently,
+    // resume near the old drop rate instead of restarting at 1 (RFC 8289
+    // §5.4 — this is what makes CoDel converge on persistent overload).
+    const bool deliver = shed(head->entry);
+    if (!deliver) {
+      head = pop_head(now);
+      if (!head) {
+        dropping_ = false;
+        return std::nullopt;
+      }
+    }
+    dropping_ = true;
+    const std::uint32_t delta = count_ - last_count_;
+    if (delta > 1 && now - drop_next_ < opt_.interval * 16) {
+      count_ = delta;
+    } else {
+      count_ = 1;
+    }
+    last_count_ = count_;
+    drop_next_ = control_law(now);
+  }
+
+  ++stats_.dequeued;
+  return head->entry.packet;
+}
+
+}  // namespace rss::net

@@ -34,8 +34,14 @@ void CrossPartitionLink::transmit_from(const NetDevice& sender, const Packet& p)
   Direction& dir = (&sender == end_a_) ? a_to_b_ : b_to_a_;
   const sim::Time staged_at = dir.src_sim->now();
   const sim::Time deliver_at = staged_at + delay();
-  dir.channel->stage(deliver_at, staged_at, &dir.endpoint, &CrossPartitionLink::deliver_staged,
-                     p);
+  // The tie-break rank is drawn from the *source* scheduler's counter for
+  // the sending node at transmit time — exactly the rank a single shared
+  // scheduler would have assigned this delivery — and travels with the
+  // payload so the drain can arm it unchanged on the destination.
+  const std::uint32_t origin = sender.event_origin();
+  const std::uint64_t rank = dir.src_sim->scheduler().draw_rank(origin);
+  dir.channel->stage(deliver_at, staged_at, origin, rank, &dir.endpoint,
+                     &CrossPartitionLink::deliver_staged, p);
 }
 
 void CrossPartitionLink::set_loss_rate(double, sim::Rng) {
@@ -56,7 +62,8 @@ std::uint64_t CrossPartitionLink::packets_delivered() const {
 }
 
 void CrossPartitionLink::deliver_staged(void* endpoint, const std::byte* payload,
-                                        sim::Time deliver_at, sim::Time staged_at) {
+                                        sim::Time deliver_at, sim::Time staged_at,
+                                        std::uint32_t origin, std::uint64_t rank) {
   auto* ep = static_cast<Endpoint*>(endpoint);
   std::uint32_t slot;
   if (ep->free_slots.empty()) {
@@ -78,10 +85,11 @@ void CrossPartitionLink::deliver_staged(void* endpoint, const std::byte* payload
   };
   static_assert(sizeof(deliver) <= sim::InlineCallback::kCapacity,
                 "cross-partition delivery callback must stay inline");
-  // staged_at (the source's transmit clock) becomes the birth-time
-  // tie-break: a same-timestamp race between this delivery and a local
-  // event then resolves exactly as it would in a single-scheduler run.
-  ep->sim->at_from(staged_at, deliver_at, deliver);
+  // staged_at (the source's transmit clock) becomes the birth time and the
+  // staged (origin, rank) pair the intrinsic tie-break: a same-timestamp
+  // race between this delivery and any other event then resolves exactly
+  // as it would in a single-scheduler run, regardless of drain order.
+  ep->sim->at_imported(origin, rank, staged_at, deliver_at, deliver);
 }
 
 }  // namespace rss::net

@@ -69,7 +69,7 @@ class CrossPartitionLink final : public PointToPointLink {
   /// sim::HandoffDeliverFn invoked by the engine's drain phase on the
   /// destination partition's thread.
   static void deliver_staged(void* endpoint, const std::byte* payload, sim::Time deliver_at,
-                             sim::Time staged_at);
+                             sim::Time staged_at, std::uint32_t origin, std::uint64_t rank);
 
   Direction a_to_b_;
   Direction b_to_a_;

@@ -91,6 +91,16 @@ class NetDevice {
   void set_fluid_share(double share);
   [[nodiscard]] double fluid_share() const { return fluid_share_; }
 
+  /// Stable tie-break label for events this device emits onto a link
+  /// (Scheduler origin streams; see EventEntry). The builder tags every
+  /// device with its owning node's global spec index + 1, so same-timestamp
+  /// deliveries order by (node, per-node rank) — a pure function of the
+  /// topology — instead of scheduler insertion order, which is what keeps
+  /// partitioned runs pop-order-identical to sequential ones. 0 (the
+  /// default) is the shared legacy stream.
+  void set_event_origin(std::uint32_t origin) { event_origin_ = origin; }
+  [[nodiscard]] std::uint32_t event_origin() const { return event_origin_; }
+
  private:
   /// Longest serialization train armed in one go. Bounds how far ahead the
   /// IFQ head run is inspected; runs longer than this simply chain trains.
@@ -114,6 +124,7 @@ class NetDevice {
   /// Completions left in the current serialization train (0 when idle).
   std::uint64_t train_left_{0};
   double fluid_share_{0.0};
+  std::uint32_t event_origin_{0};
   bool busy_{false};
 };
 

@@ -22,8 +22,11 @@ constexpr double kMaxFluidShare = 0.98;
 /// FluidQueueCoupling::step). 1.0 shields packet flows from nearly every
 /// fluid overflow episode; 0.0 exposes them to all of them. Calibrated on
 /// the parking-lot equivalence study: foreground goodput and loss
-/// frequency track the all-packet run closest mid-range.
-constexpr double kPacketBufferShare = 0.85;
+/// frequency track the all-packet run closest mid-range. Recalibrated when
+/// the scheduler's same-instant tie-break moved to intrinsic per-node
+/// streams — the all-packet reference dynamics shifted to a fairer
+/// foreground share, and the reserve follows the reference.
+constexpr double kPacketBufferShare = 0.937;
 
 }  // namespace
 

@@ -66,7 +66,11 @@ void PointToPointLink::transmit_from(const NetDevice& sender, const Packet& p) {
   };
   static_assert(sizeof(deliver) <= sim::InlineCallback::kCapacity,
                 "delivery callback must stay inline on the scheduler hot path");
-  sim_.in(delay, deliver);
+  // Ranked by the sending device's origin so same-timestamp deliveries
+  // order intrinsically (node, per-node rank) — the key a CrossPartitionLink
+  // carries across partitions; both link kinds must draw from the same
+  // per-origin counters for sequential/partitioned pop-order parity.
+  sim_.in_ranked(sender.event_origin(), delay, deliver);
 }
 
 }  // namespace rss::net

@@ -25,6 +25,12 @@ struct TcpHeader {
   bool syn{false};
   bool fin{false};
   bool is_ack{false};
+  /// ECN-Echo (RFC 3168): the receiver repeats the congestion signal back
+  /// to the sender. Our receivers run the DCTCP echo discipline (RFC 8257
+  /// §3.2) — every ACK carries the CE state of the data it acknowledges —
+  /// which degrades gracefully to classic one-bit feedback for Reno-style
+  /// senders.
+  bool ece{false};
   std::uint8_t sack_count{0};  ///< 0..3 valid entries in `sack`
   std::array<SackBlock, 3> sack{};
 };
@@ -39,6 +45,12 @@ struct Packet {
   std::uint32_t dst_node{0};
   std::uint32_t payload_bytes{0};
   std::uint32_t header_bytes{40};  ///< IP(20) + TCP(20), options ignored
+  /// ECN-Capable Transport (RFC 3168 ECT codepoint): set by senders whose
+  /// flow negotiated ECN; queues may then CE-mark instead of dropping.
+  bool ect{false};
+  /// Congestion Experienced: stamped by an AQM queue on an ECT packet in
+  /// place of a drop. Echoed back to the sender via TcpHeader::ece.
+  bool ce{false};
   TcpHeader tcp{};
 
   [[nodiscard]] std::uint32_t size_bytes() const { return payload_bytes + header_bytes; }

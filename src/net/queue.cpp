@@ -28,10 +28,12 @@ bool DropTailQueue::enqueue(const Packet& p) {
     stats_.bytes_dropped += p.size_bytes();
     return false;
   }
-  queue_.push_back(p);
-  bytes_ += p.size_bytes();
+  Packet admitted = p;
+  maybe_step_mark(admitted, queue_.size() + virtual_packets_);
+  queue_.push_back(admitted);
+  bytes_ += admitted.size_bytes();
   ++stats_.enqueued;
-  stats_.bytes_enqueued += p.size_bytes();
+  stats_.bytes_enqueued += admitted.size_bytes();
   stats_.peak_packets = std::max(stats_.peak_packets, queue_.size());
   return true;
 }
@@ -86,22 +88,37 @@ bool RedQueue::enqueue(const Packet& p) {
     count_since_drop_ = 0;
   }
 
+  Packet admitted = p;
   if (drop) {
-    ++stats_.dropped;
-    stats_.bytes_dropped += p.size_bytes();
-    if (early) {
-      ++early_drops_;
+    // ECN (RFC 3168): an *early* decision on an ECT packet becomes a CE
+    // mark and the packet is admitted — the whole point of marking is to
+    // signal before loss is necessary. Forced decisions (hard full, or
+    // average beyond max threshold) still drop: at that point the queue
+    // genuinely has no room to protect.
+    if (early && admitted.ect) {
+      admitted.ce = true;
+      ++stats_.ce_marked;
+      ++early_drops_;  // counts decision events, marked or dropped
       count_since_drop_ = 0;
     } else {
-      ++forced_drops_;
+      ++stats_.dropped;
+      stats_.bytes_dropped += admitted.size_bytes();
+      if (early) {
+        ++early_drops_;
+        count_since_drop_ = 0;
+      } else {
+        ++forced_drops_;
+      }
+      return false;
     }
-    return false;
+  } else {
+    maybe_step_mark(admitted, queue_.size() + virtual_packets_);
   }
 
-  queue_.push_back(p);
-  bytes_ += p.size_bytes();
+  queue_.push_back(admitted);
+  bytes_ += admitted.size_bytes();
   ++stats_.enqueued;
-  stats_.bytes_enqueued += p.size_bytes();
+  stats_.bytes_enqueued += admitted.size_bytes();
   stats_.peak_packets = std::max(stats_.peak_packets, queue_.size());
   return true;
 }

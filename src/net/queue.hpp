@@ -20,6 +20,7 @@ struct QueueStats {
   std::uint64_t dropped{0};
   std::uint64_t bytes_enqueued{0};
   std::uint64_t bytes_dropped{0};
+  std::uint64_t ce_marked{0};  ///< ECT packets CE-marked instead of dropped
   std::size_t peak_packets{0};
 };
 
@@ -82,10 +83,30 @@ class PacketQueue {
   [[nodiscard]] std::size_t virtual_packets() const { return virtual_packets_; }
   [[nodiscard]] std::size_t virtual_bytes() const { return virtual_bytes_; }
 
+  /// DCTCP-style step marking (RFC 8257 §3.1): when non-zero, an ECT packet
+  /// admitted while the instantaneous occupancy (real + virtual) is at or
+  /// above `packets` is CE-marked. Zero (the default) disables the step —
+  /// classic drop behaviour is untouched. Works on every discipline, so a
+  /// plain drop-tail switch can serve as the shallow-threshold DCTCP
+  /// fabric, which is exactly how the scheme is deployed.
+  void set_ecn_step_threshold(std::size_t packets) { ecn_step_threshold_ = packets; }
+  [[nodiscard]] std::size_t ecn_step_threshold() const { return ecn_step_threshold_; }
+
  protected:
+  /// Apply the step-marking rule to a packet that is about to be admitted;
+  /// `occupancy` is the pre-admission depth in packets (real + virtual).
+  void maybe_step_mark(Packet& p, std::size_t occupancy) {
+    if (ecn_step_threshold_ == 0 || !p.ect || p.ce) return;
+    if (occupancy >= ecn_step_threshold_) {
+      p.ce = true;
+      ++stats_.ce_marked;
+    }
+  }
+
   QueueStats stats_;
   std::size_t virtual_packets_{0};
   std::size_t virtual_bytes_{0};
+  std::size_t ecn_step_threshold_{0};
 };
 
 /// Classic tail-drop FIFO bounded in packets — the Linux `txqueuelen`

@@ -61,13 +61,22 @@ struct RouteHop {
 /// RNG has had no draws at wiring time — while leaving each partition's own
 /// RNG untouched.
 [[nodiscard]] std::unique_ptr<net::PacketQueue> make_queue(const DeviceSpec& dev,
-                                                           sim::Rng& rng) {
+                                                           sim::Rng& rng,
+                                                           const sim::Simulation& sim) {
+  std::unique_ptr<net::PacketQueue> queue;
   if (dev.qdisc == QueueDiscipline::kRed) {
     net::RedQueue::Options red = dev.red;
     red.capacity_packets = dev.ifq_packets;
-    return std::make_unique<net::RedQueue>(red, rng.fork());
+    queue = std::make_unique<net::RedQueue>(red, rng.fork());
+  } else if (dev.qdisc == QueueDiscipline::kCodel) {
+    net::CodelQueue::Options codel = dev.codel;
+    codel.capacity_packets = dev.ifq_packets;
+    queue = std::make_unique<net::CodelQueue>(codel, sim);
+  } else {
+    queue = std::make_unique<net::DropTailQueue>(dev.ifq_packets);
   }
-  return std::make_unique<net::DropTailQueue>(dev.ifq_packets);
+  queue->set_ecn_step_threshold(dev.ecn_threshold);
+  return queue;
 }
 
 }  // namespace
@@ -260,9 +269,13 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
   const TopologySpec& spec = scenario->spec_;
   scenario->node_partition_ = assignment;
   scenario->lookahead_ = lookahead;
-  for (std::size_t p = 0; p < parts; ++p)
+  for (std::size_t p = 0; p < parts; ++p) {
     scenario->sims_.push_back(
         std::make_unique<sim::Simulation>(spec.seed + p, backend));
+    // Origins label nodes (spec index + 1) plus the shared stream 0;
+    // pre-sizing keeps ranked scheduling allocation-free on the hot path.
+    scenario->sims_.back()->scheduler().reserve_origins(spec.nodes.size() + 1);
+  }
   if (parts > 1) {
     std::vector<sim::Simulation*> sim_ptrs;
     sim_ptrs.reserve(parts);
@@ -306,9 +319,15 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
     const std::string b_name =
         link.b_dev.name.empty() ? link.b + "->" + link.a : link.b_dev.name;
     net::NetDevice& a_dev = scenario->nodes_[a]->add_device(
-        link.a_dev.rate, make_queue(link.a_dev, queue_rng), a_name);
+        link.a_dev.rate, make_queue(link.a_dev, queue_rng, sim_of_node(a)), a_name);
     net::NetDevice& b_dev = scenario->nodes_[b]->add_device(
-        link.b_dev.rate, make_queue(link.b_dev, queue_rng), b_name);
+        link.b_dev.rate, make_queue(link.b_dev, queue_rng, sim_of_node(b)), b_name);
+    // Tag devices with their node's global index so same-timestamp link
+    // deliveries order by (node, per-node rank) — intrinsic to the spec,
+    // identical whether the run is sequential or partitioned. Tagged
+    // unconditionally: the 1-partition run is the parity baseline.
+    a_dev.set_event_origin(static_cast<std::uint32_t>(a) + 1);
+    b_dev.set_event_origin(static_cast<std::uint32_t>(b) + 1);
     const std::uint32_t pa = assignment[a];
     const std::uint32_t pb = assignment[b];
     if (pa == pb) {
@@ -403,12 +422,14 @@ std::unique_ptr<Scenario> ScenarioBuilder::build(const FlowCcFactory& cc_factory
     tcp::TcpReceiver::Options rx_opt = flow.receiver;
     rx_opt.flow_id = flow_id;
     rx_opt.peer_node = static_cast<std::uint32_t>(src + 1);
+    if (flow.ecn) rx_opt.ecn = true;
     runtime.receiver = std::make_unique<tcp::TcpReceiver>(sim_of_node(dst),
                                                           *scenario->nodes_[dst], rx_opt);
 
     tcp::TcpSender::Options tx_opt = flow.sender;
     tx_opt.flow_id = flow_id;
     tx_opt.dst_node = static_cast<std::uint32_t>(dst + 1);
+    if (flow.ecn) tx_opt.ecn = true;
     net::NetDevice& egress =
         scenario->nodes_[src]->device(scenario->routes_.egress(src, dst));
     runtime.sender = std::make_unique<tcp::TcpSender>(

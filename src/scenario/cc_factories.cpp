@@ -28,12 +28,15 @@ CcFactory factory_by_name(const std::string& name) {
   }
   if (name == "highspeed" || name == "hstcp") return make_highspeed_factory();
   if (name == "highspeed-rss" || name == "hs-rss") return make_highspeed_rss_factory();
+  if (name == "cubic") return make_cubic_factory();
+  if (name == "dctcp") return make_dctcp_factory();
   throw std::invalid_argument("unknown congestion-control variant: " + name);
 }
 
 std::vector<std::string> variant_names() {
-  return {"tahoe",      "reno",      "vegas", "limited-slow-start", "restricted-slow-start",
-          "highspeed", "highspeed-rss"};
+  return {"tahoe",      "reno",          "vegas", "limited-slow-start",
+          "restricted-slow-start",       "highspeed", "highspeed-rss",
+          "cubic",      "dctcp"};
 }
 
 }  // namespace rss::scenario

@@ -8,6 +8,8 @@
 #include "core/highspeed_rss.hpp"
 #include "core/restricted_slow_start.hpp"
 #include "scenario/topology.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/dctcp.hpp"
 #include "tcp/highspeed.hpp"
 #include "tcp/limited_slow_start.hpp"
 #include "tcp/reno.hpp"
@@ -66,6 +68,16 @@ namespace rss::scenario {
   return [options] {
     return std::make_unique<core::HighSpeedRestrictedSlowStart>(options);
   };
+}
+
+[[nodiscard]] inline CcFactory make_cubic_factory(
+    tcp::CubicCongestionControl::CubicOptions options = {}) {
+  return [options] { return std::make_unique<tcp::CubicCongestionControl>(options); };
+}
+
+[[nodiscard]] inline CcFactory make_dctcp_factory(
+    tcp::DctcpCongestionControl::Options options = {}) {
+  return [options] { return std::make_unique<tcp::DctcpCongestionControl>(options); };
 }
 
 /// Factory by name, for command-line front ends; throws on unknown names.

@@ -23,10 +23,12 @@ TopologySpec Dumbbell::make_spec(const Config& config) {
   bottleneck.a = "routerL";
   bottleneck.b = "routerR";
   bottleneck.delay = config.bottleneck_delay;
-  bottleneck.a_dev = {config.bottleneck_rate, config.router_queue_packets,
-                      QueueDiscipline::kDropTail, {}, "routerL/bottleneck"};
-  bottleneck.b_dev = {config.bottleneck_rate, config.router_queue_packets,
-                      QueueDiscipline::kDropTail, {}, "routerR/bottleneck"};
+  bottleneck.a_dev = {.rate = config.bottleneck_rate,
+                      .ifq_packets = config.router_queue_packets,
+                      .name = "routerL/bottleneck"};
+  bottleneck.b_dev = {.rate = config.bottleneck_rate,
+                      .ifq_packets = config.router_queue_packets,
+                      .name = "routerR/bottleneck"};
   spec.links.push_back(std::move(bottleneck));
 
   for (std::size_t i = 0; i < config.flows; ++i) {

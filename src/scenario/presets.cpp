@@ -52,9 +52,9 @@ TopologySpec ParkingLot::make_spec(const Config& config) {
     hop.a = router_name(h);
     hop.b = router_name(h + 1);
     hop.delay = hop_delays[h];
-    hop.a_dev = {config.bottleneck_rate, config.router_queue_packets,
-                 QueueDiscipline::kDropTail, {},
-                 "hop" + std::to_string(h)};
+    hop.a_dev = {.rate = config.bottleneck_rate,
+                 .ifq_packets = config.router_queue_packets,
+                 .name = "hop" + std::to_string(h)};
     hop.b_dev = {config.bottleneck_rate, config.router_queue_packets};
     spec.links.push_back(std::move(hop));
   }
@@ -147,9 +147,9 @@ TopologySpec MultiBottleneckChain::make_spec(const Config& config) {
     hop.a = router_name(h);
     hop.b = router_name(h + 1);
     hop.delay = hop_delays[h];
-    hop.a_dev = {config.hop_rates[h], config.router_queue_packets,
-                 QueueDiscipline::kDropTail, {},
-                 "hop" + std::to_string(h)};
+    hop.a_dev = {.rate = config.hop_rates[h],
+                 .ifq_packets = config.router_queue_packets,
+                 .name = "hop" + std::to_string(h)};
     hop.b_dev = {config.hop_rates[h], config.router_queue_packets};
     spec.links.push_back(std::move(hop));
   }
@@ -239,9 +239,9 @@ TopologySpec ScaleMesh::make_spec(const Config& config) {
     bottleneck.a = seg("rL", i);
     bottleneck.b = seg("rR", i);
     bottleneck.delay = config.bottleneck_delay;
-    bottleneck.a_dev = {config.bottleneck_rate, config.router_queue_packets,
-                        QueueDiscipline::kDropTail, {},
-                        "seg" + std::to_string(i) + "/bottleneck"};
+    bottleneck.a_dev = {.rate = config.bottleneck_rate,
+                        .ifq_packets = config.router_queue_packets,
+                        .name = "seg" + std::to_string(i) + "/bottleneck"};
     bottleneck.b_dev = {config.bottleneck_rate, config.router_queue_packets};
     spec.links.push_back(std::move(bottleneck));
 
@@ -261,9 +261,9 @@ TopologySpec ScaleMesh::make_spec(const Config& config) {
       trunk.a = seg("rR", i);
       trunk.b = seg("rL", i + 1);
       trunk.delay = config.inter_delay;
-      trunk.a_dev = {config.trunk_rate, config.router_queue_packets,
-                     QueueDiscipline::kDropTail, {},
-                     "trunk" + std::to_string(i)};
+      trunk.a_dev = {.rate = config.trunk_rate,
+                     .ifq_packets = config.router_queue_packets,
+                     .name = "trunk" + std::to_string(i)};
       trunk.b_dev = {config.trunk_rate, config.router_queue_packets};
       spec.links.push_back(std::move(trunk));
     }

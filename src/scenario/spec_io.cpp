@@ -675,6 +675,16 @@ void parse_red_options(const JsonValue& v, const std::string& path, net::RedQueu
   r.finish();
 }
 
+void parse_codel_options(const JsonValue& v, const std::string& path,
+                         net::CodelQueue::Options& codel) {
+  ObjectReader r{v, path};
+  if (const auto* x = r.opt("target"))
+    codel.target = parse_time(x->as_string(r.path_of("target")), r.path_of("target"));
+  if (const auto* x = r.opt("interval"))
+    codel.interval = parse_time(x->as_string(r.path_of("interval")), r.path_of("interval"));
+  r.finish();
+}
+
 DeviceSpec parse_device(const JsonValue& v, const std::string& path) {
   ObjectReader r{v, path};
   DeviceSpec d;
@@ -686,9 +696,10 @@ DeviceSpec parse_device(const JsonValue& v, const std::string& path) {
     const std::string& q = x->as_string(r.path_of("qdisc"));
     if (q == "droptail") d.qdisc = QueueDiscipline::kDropTail;
     else if (q == "red") d.qdisc = QueueDiscipline::kRed;
+    else if (q == "codel") d.qdisc = QueueDiscipline::kCodel;
     else
       fail(SpecError::Code::kBadValue, r.path_of("qdisc"), x->line,
-           "unknown qdisc '" + q + "' (expected \"droptail\" or \"red\")");
+           "unknown qdisc '" + q + "' (expected \"droptail\", \"red\", or \"codel\")");
   }
   if (const auto* x = r.opt("red")) {
     if (d.qdisc != QueueDiscipline::kRed)
@@ -696,6 +707,14 @@ DeviceSpec parse_device(const JsonValue& v, const std::string& path) {
            "red options require \"qdisc\": \"red\"");
     parse_red_options(*x, r.path_of("red"), d.red);
   }
+  if (const auto* x = r.opt("codel")) {
+    if (d.qdisc != QueueDiscipline::kCodel)
+      fail(SpecError::Code::kBadValue, r.path_of("codel"), x->line,
+           "codel options require \"qdisc\": \"codel\"");
+    parse_codel_options(*x, r.path_of("codel"), d.codel);
+  }
+  if (const auto* x = r.opt("ecn_threshold"))
+    d.ecn_threshold = as_checked_unsigned<std::size_t>(*x, r.path_of("ecn_threshold"));
   if (const auto* x = r.opt("name")) d.name = x->as_string(r.path_of("name"));
   r.finish();
   return d;
@@ -811,7 +830,7 @@ FlowSpec parse_flow(const JsonValue& v, const std::string& path, std::string& cc
   if (f.model == TrafficModel::kFluid) {
     // A fluid aggregate has no TCP machinery: reject the packet-only
     // fields outright instead of silently ignoring them.
-    for (const char* key : {"cc", "sender", "receiver", "web100"}) {
+    for (const char* key : {"cc", "ecn", "sender", "receiver", "web100"}) {
       if (const auto* x = r.opt(key))
         fail(SpecError::Code::kBadValue, r.path_of(key), x->line,
              std::string{"\""} + key + "\" is packet-only; a fluid flow takes its "
@@ -837,6 +856,7 @@ FlowSpec parse_flow(const JsonValue& v, const std::string& path, std::string& cc
            "unknown congestion-control variant '" + cc + "' (known: " + known + ")");
     }
   }
+  if (const auto* x = r.opt("ecn")) f.ecn = x->as_bool(r.path_of("ecn"));
   if (const auto* x = r.opt("sender")) parse_sender_options(*x, r.path_of("sender"), f.sender);
   if (const auto* x = r.opt("receiver"))
     parse_receiver_options(*x, r.path_of("receiver"), f.receiver);
@@ -916,6 +936,16 @@ JsonValue red_to_json(const net::RedQueue::Options& red) {
   return o;
 }
 
+JsonValue codel_to_json(const net::CodelQueue::Options& codel) {
+  const net::CodelQueue::Options def{};
+  JsonValue o = JsonValue::make_object();
+  if (codel.target != def.target)
+    o.set("target", JsonValue::make_string(format_time(codel.target)));
+  if (codel.interval != def.interval)
+    o.set("interval", JsonValue::make_string(format_time(codel.interval)));
+  return o;
+}
+
 JsonValue device_to_json(const DeviceSpec& d) {
   const DeviceSpec def{};
   JsonValue o = JsonValue::make_object();
@@ -926,7 +956,14 @@ JsonValue device_to_json(const DeviceSpec& d) {
     o.set("qdisc", JsonValue::make_string("red"));
     JsonValue red = red_to_json(d.red);
     if (!red.object.empty()) o.set("red", std::move(red));
+  } else if (d.qdisc == QueueDiscipline::kCodel) {
+    o.set("qdisc", JsonValue::make_string("codel"));
+    JsonValue codel = codel_to_json(d.codel);
+    if (!codel.object.empty()) o.set("codel", std::move(codel));
   }
+  if (d.ecn_threshold != def.ecn_threshold)
+    o.set("ecn_threshold",
+          JsonValue::make_number(static_cast<std::uint64_t>(d.ecn_threshold)));
   if (!d.name.empty()) o.set("name", JsonValue::make_string(d.name));
   return o;
 }
@@ -1026,6 +1063,7 @@ JsonValue flow_to_json(const FlowSpec& f, const std::string& cc) {
     return o;
   }
   o.set("cc", JsonValue::make_string(cc));
+  if (f.ecn) o.set("ecn", JsonValue::make_bool(true));
   JsonValue sender = sender_to_json(f.sender);
   if (!sender.object.empty()) o.set("sender", std::move(sender));
   JsonValue receiver = receiver_to_json(f.receiver);

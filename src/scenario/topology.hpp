@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/codel.hpp"
 #include "net/data_rate.hpp"
 #include "net/fluid.hpp"
 #include "net/queue.hpp"
@@ -46,6 +47,7 @@ using FlowCcFactory =
 enum class QueueDiscipline {
   kDropTail,  ///< tail-drop FIFO (Linux txqueuelen, the paper's IFQ)
   kRed,       ///< Random Early Detection (router AQM experiments)
+  kCodel,     ///< CoDel sojourn-time AQM (RFC 8289)
 };
 
 /// One endpoint NIC of a duplex link. Rates and IFQ depths are
@@ -56,6 +58,11 @@ struct DeviceSpec {
   std::size_t ifq_packets{1000};
   QueueDiscipline qdisc{QueueDiscipline::kDropTail};
   net::RedQueue::Options red{};  ///< honoured when qdisc == kRed (capacity taken from ifq_packets)
+  /// Honoured when qdisc == kCodel (capacity taken from ifq_packets).
+  net::CodelQueue::Options codel{};
+  /// DCTCP-style step marking: CE-mark ECT packets when the instantaneous
+  /// occupancy reaches this many packets (0 = off). Works on every qdisc.
+  std::size_t ecn_threshold{0};
   std::string name{};            ///< empty -> "<node>-><peer>"
 };
 
@@ -89,6 +96,11 @@ struct FlowSpec {
   std::optional<sim::Time> start{};
   tcp::TcpSender::Options sender{};      ///< flow/dst ids overwritten by the builder
   tcp::TcpReceiver::Options receiver{};  ///< flow/peer ids overwritten by the builder
+  /// Negotiate ECN on this flow: data packets go out ECT, the receiver
+  /// echoes CE marks (RFC 8257 discipline), and the sender feeds the echo
+  /// to its congestion control. The builder copies this into both the
+  /// sender and receiver options.
+  bool ecn{false};
   /// Attach a Web100-style PollingAgent to this flow's sender MIB.
   bool web100{false};
   sim::Time web100_poll_period{sim::Time::milliseconds(100)};

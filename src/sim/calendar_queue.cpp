@@ -8,9 +8,8 @@ namespace rss::sim {
 namespace {
 
 bool entry_before(const EventEntry& a, const EventEntry& b) {
-  if (a.at != b.at) return a.at < b.at;
-  if (a.birth != b.birth) return a.birth < b.birth;
-  return a.seq < b.seq;
+  // Shared with Scheduler::Later so both backends pop identically.
+  return event_entry_before(a, b);
 }
 
 }  // namespace
@@ -82,12 +81,14 @@ const EventEntry& CalendarQueue::peek_min() const {
   return buckets_[*min_bucket_cache_].front();
 }
 
-bool CalendarQueue::remove(Time at, Time birth, std::uint64_t seq) {
+bool CalendarQueue::remove(Time at, Time birth, std::uint32_t origin, std::uint64_t seq) {
   if (size_ == 0) return false;
   auto& bucket = buckets_[bucket_of(at)];
-  const EventEntry probe{at, birth, seq, 0, 0};
+  const EventEntry probe{at, birth, seq, 0, 0, origin};
   const auto it = std::lower_bound(bucket.begin(), bucket.end(), probe, entry_before);
-  if (it == bucket.end() || it->at != at || it->birth != birth || it->seq != seq) return false;
+  if (it == bucket.end() || it->at != at || it->birth != birth || it->origin != origin ||
+      it->seq != seq)
+    return false;
   min_bucket_cache_.reset();
   bucket.erase(it);
   --size_;

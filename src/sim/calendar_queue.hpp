@@ -17,10 +17,10 @@ namespace rss::sim {
 ///
 /// Days (buckets) of width `day_width` cover one "year"; an event lands in
 /// bucket (t / width) mod days and buckets hold sorted-by-(time, birth,
-/// seq) vectors. The structure resizes (doubling/halving days,
+/// origin, seq) vectors. The structure resizes (doubling/halving days,
 /// re-estimating width) when occupancy drifts outside [days/2, 2*days].
 ///
-/// The queue stores plain EventEntry handles — the same 32-byte POD the
+/// The queue stores plain EventEntry handles — the same 40-byte POD the
 /// heap backend pushes — so switching backends moves zero callback state
 /// and rebuilds during resize are flat memmoves, not std::function copies.
 /// This class is a priority-queue primitive (push/pop-min), deliberately
@@ -42,12 +42,12 @@ class CalendarQueue {
   /// empty() first. The reference is invalidated by any mutating call.
   [[nodiscard]] const EventEntry& peek_min() const;
 
-  /// Remove the entry matching (at, birth, seq) wherever it sits; returns
-  /// true iff something was removed. O(log bucket + bucket shift) — lets a
-  /// caller that tracks liveness (Scheduler cancellation) delete eagerly
-  /// instead of lazily, which keeps the monotonic pop floor from advancing
-  /// past still-relevant times.
-  bool remove(Time at, Time birth, std::uint64_t seq);
+  /// Remove the entry matching (at, birth, origin, seq) wherever it sits;
+  /// returns true iff something was removed. O(log bucket + bucket shift) —
+  /// lets a caller that tracks liveness (Scheduler cancellation) delete
+  /// eagerly instead of lazily, which keeps the monotonic pop floor from
+  /// advancing past still-relevant times.
+  bool remove(Time at, Time birth, std::uint32_t origin, std::uint64_t seq);
 
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t size() const { return size_; }

@@ -239,7 +239,7 @@ void PartitionedEngine::drain_partition(std::size_t p) {
   }
   for (const StagedHandoff* h : scratch) {
     assert(h->deliver_at > sims_[p]->now() && "conservative lookahead violated");
-    h->deliver(h->endpoint, h->payload, h->deliver_at, h->staged_at);
+    h->deliver(h->endpoint, h->payload, h->deliver_at, h->staged_at, h->origin, h->rank);
   }
   handoffs_[p] += scratch.size();
   for (const std::uint32_t id : inbound_[p]) channels_[id].clear();

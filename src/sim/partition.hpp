@@ -78,22 +78,30 @@ inline constexpr std::size_t kHandoffPayloadCapacity = 96;
 /// drain phase. A plain function pointer (not InlineCallback) because the
 /// payload travels in the staged entry itself, not in a closure.
 /// `staged_at` is the source partition's clock when the handoff was staged;
-/// implementations should forward it as the birth time when scheduling into
-/// the destination (Simulation::at_from), so same-timestamp ties resolve
-/// exactly as a single-scheduler run would.
+/// `origin`/`rank` are the sending node's label and the insertion rank
+/// drawn from the *source* scheduler's origin counter at stage time.
+/// Implementations should forward all three when scheduling into the
+/// destination (Simulation::at_imported), so same-timestamp ties resolve
+/// exactly as a single-scheduler run would — the (birth, origin, rank)
+/// tie-break key is intrinsic to the sender, not to insertion order.
 using HandoffDeliverFn = void (*)(void* endpoint, const std::byte* payload, Time deliver_at,
-                                  Time staged_at);
+                                  Time staged_at, std::uint32_t origin, std::uint64_t rank);
 
 /// One staged cross-partition event, written by the source partition during
 /// a window and consumed by the destination during the drain phase.
 /// (staged_at, channel, seq) is the deterministic-merge tiebreak: together
 /// with deliver_at it totally orders every handoff a partition receives,
-/// independent of which thread staged what first.
+/// independent of which thread staged what first. (origin, rank) ride
+/// along untouched — they are the *scheduler* tie-break the delivery is
+/// armed with, which makes the destination's pop order independent of the
+/// merge's insertion order entirely.
 struct StagedHandoff {
   Time deliver_at{};
   Time staged_at{};
   std::uint32_t channel{0};
+  std::uint32_t origin{0};
   std::uint64_t seq{0};
+  std::uint64_t rank{0};
   HandoffDeliverFn deliver{nullptr};
   void* endpoint{nullptr};
   alignas(std::max_align_t) std::byte payload[kHandoffPayloadCapacity];
@@ -117,11 +125,13 @@ class alignas(64) HandoffChannel {
 
   /// Stage `payload` for delivery at `deliver_at`; called by the source
   /// partition's thread while its window executes, with `staged_at` its
-  /// current clock (staged_at <= deliver_at). `fn(endpoint, bytes,
-  /// deliver_at, staged_at)` runs later on the destination's thread.
+  /// current clock (staged_at <= deliver_at) and (`origin`, `rank`) the
+  /// sender's scheduler tie-break key drawn at stage time. `fn(endpoint,
+  /// bytes, deliver_at, staged_at, origin, rank)` runs later on the
+  /// destination's thread.
   template <typename T>
-  void stage(Time deliver_at, Time staged_at, void* endpoint, HandoffDeliverFn fn,
-             const T& payload) {
+  void stage(Time deliver_at, Time staged_at, std::uint32_t origin, std::uint64_t rank,
+             void* endpoint, HandoffDeliverFn fn, const T& payload) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "handoff payloads are relayed as raw bytes");
     static_assert(sizeof(T) <= kHandoffPayloadCapacity,
@@ -130,7 +140,9 @@ class alignas(64) HandoffChannel {
     h.deliver_at = deliver_at;
     h.staged_at = staged_at;
     h.channel = id_;
+    h.origin = origin;
     h.seq = next_seq_++;
+    h.rank = rank;
     h.deliver = fn;
     h.endpoint = endpoint;
     std::memcpy(h.payload, &payload, sizeof(T));
@@ -170,11 +182,13 @@ class alignas(64) HandoffChannel {
 ///   3. drain:   after the second barrier, each worker merges the channels
 ///      inbound to its partitions — sorted by (deliver_at, staged_at,
 ///      channel, seq) — and schedules the deliveries with staged_at as the
-///      birth-time tie-break (Scheduler::schedule_at_from). The sort makes
+///      birth time and the staged (origin, rank) pair as the intrinsic
+///      tie-break key (Scheduler::schedule_at_imported). The sort makes
 ///      the destination scheduler's insertion order a pure function of the
 ///      spec, so runs are deterministic regardless of thread count or
-///      timing; the birth tie-break makes same-timestamp pop order match
-///      the single-scheduler run.
+///      timing; the (birth, origin, rank) key makes same-timestamp pop
+///      order match the single-scheduler run exactly, independent even of
+///      that insertion order.
 ///
 /// Worker w owns partitions {p : p % workers == w}; with threads == 1 the
 /// same round structure runs inline on the calling thread with no barriers,

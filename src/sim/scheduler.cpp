@@ -23,10 +23,16 @@ EventId Scheduler::schedule_train(Time start, Time stride, std::uint64_t count,
     if (stride_ns != 0 && count - 1 > headroom / stride_ns)
       throw std::invalid_argument("Scheduler: train extends beyond representable time");
   }
-  return arm(start, stride, count, std::move(cb), now_);
+  return arm(start, stride, count, std::move(cb), now_, 0);
 }
 
-EventId Scheduler::arm(Time at, Time stride, std::uint64_t count, Callback cb, Time birth) {
+EventId Scheduler::arm(Time at, Time stride, std::uint64_t count, Callback cb, Time birth,
+                       std::uint32_t origin) {
+  return arm_with_rank(at, stride, count, std::move(cb), birth, origin, draw_rank(origin));
+}
+
+EventId Scheduler::arm_with_rank(Time at, Time stride, std::uint64_t count, Callback cb,
+                                 Time birth, std::uint32_t origin, std::uint64_t rank) {
   if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
   if (!cb) throw std::invalid_argument("Scheduler: null callback");
   const std::uint32_t index = acquire_slot();
@@ -35,11 +41,12 @@ EventId Scheduler::arm(Time at, Time stride, std::uint64_t count, Callback cb, T
   slot.at = at;
   slot.birth = birth;
   slot.stride = stride;
-  slot.seq = next_seq_++;
+  slot.seq = rank;
+  slot.origin = origin;
   slot.remaining = count;
   slot.armed = true;
   ++live_;
-  push_entry(EventEntry{at, birth, slot.seq, index, slot.gen});
+  push_entry(EventEntry{at, birth, slot.seq, index, slot.gen, origin});
   return EventId{index, slot.gen};
 }
 
@@ -84,7 +91,7 @@ bool Scheduler::cancel(EventId id) {
     // May find nothing when a train's current occurrence is mid-flight
     // (popped, callback executing): releasing the slot below is what stops
     // the train from re-enqueueing.
-    (void)calendar_.remove(slot.at, slot.birth, slot.seq);
+    (void)calendar_.remove(slot.at, slot.birth, slot.origin, slot.seq);
   }
   release_slot(index);
   if (backend_ == QueueBackend::kBinaryHeap) skim_dead_heap_top();
@@ -145,8 +152,8 @@ bool Scheduler::step() {
       slot.cb = std::move(cb);
       slot.at = entry.at + slot.stride;
       slot.birth = now_;  // re-enqueued at fire time, like the chained pattern
-      slot.seq = next_seq_++;
-      push_entry(EventEntry{slot.at, slot.birth, slot.seq, entry.slot, slot.gen});
+      slot.seq = draw_rank(slot.origin);
+      push_entry(EventEntry{slot.at, slot.birth, slot.seq, entry.slot, slot.gen, slot.origin});
     }
   }
   return true;

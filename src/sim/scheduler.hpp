@@ -59,7 +59,7 @@ class EventId {
 ///
 /// The event core is allocation-free on the hot path. Callbacks are
 /// InlineCallback (small-buffer, no heap fallback) and live in a slot
-/// arena recycled through a free list; both backends store only the 32-byte
+/// arena recycled through a free list; both backends store only the 40-byte
 /// POD EventEntry. Cancellation resolves an EventId to its slot in O(1)
 /// with no hashing — the TCP retransmission timer is rescheduled on every
 /// ACK, so this path is hot. The heap backend cancels lazily (the pop loop
@@ -84,24 +84,68 @@ class Scheduler {
 
   /// Schedule `cb` at absolute time `at` (must be >= now()).
   EventId schedule_at(Time at, Callback cb) {
-    return arm(at, Time::zero(), 1, std::move(cb), now_);
+    return arm(at, Time::zero(), 1, std::move(cb), now_, 0);
   }
 
   /// Schedule `cb` at `at` as if it had been inserted at time `birth`
-  /// (birth <= at). Same-timestamp events pop in (birth, insertion) order,
-  /// so this lets a cross-partition drain — which physically inserts at the
-  /// window boundary — give a handoff the tie-break rank its source-side
-  /// transmit time would have earned in a single-scheduler run. For
-  /// ordinary scheduling use schedule_at, which passes birth = now().
+  /// (birth <= at). Same-timestamp events pop in (birth, origin, seq)
+  /// order, so this lets a cross-partition drain — which physically inserts
+  /// at the window boundary — give a handoff the tie-break rank its
+  /// source-side transmit time would have earned in a single-scheduler run.
+  /// For ordinary scheduling use schedule_at, which passes birth = now().
   EventId schedule_at_from(Time birth, Time at, Callback cb) {
     if (birth > at)
       throw std::invalid_argument("Scheduler: event born after its own fire time");
-    return arm(at, Time::zero(), 1, std::move(cb), birth);
+    return arm(at, Time::zero(), 1, std::move(cb), birth, 0);
   }
 
   /// Schedule `cb` after relative delay `delay` (must be >= 0).
   EventId schedule_in(Time delay, Callback cb) {
     return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule on the `origin` tie-break stream (birth = now()): the event's
+  /// rank among same-(at, birth) peers is drawn from origin's private
+  /// counter, not the global insertion sequence. Origins label *nodes* in a
+  /// partitioned topology, so the rank is a pure function of the node's
+  /// local transmit history — the same value whether the node's events land
+  /// in one shared scheduler or its own partition's. Origin 0 is the
+  /// default stream used by every un-ranked schedule_* call.
+  EventId schedule_at_ranked(std::uint32_t origin, Time at, Callback cb) {
+    return arm(at, Time::zero(), 1, std::move(cb), now_, origin);
+  }
+
+  /// Relative-delay form of schedule_at_ranked.
+  EventId schedule_in_ranked(std::uint32_t origin, Time delay, Callback cb) {
+    return schedule_at_ranked(origin, now_ + delay, std::move(cb));
+  }
+
+  /// Schedule with an explicit, externally drawn (origin, rank) pair and
+  /// birth time — the cross-partition drain path. The rank was consumed
+  /// from the *source* scheduler's origin counter at transmit time
+  /// (draw_rank), so it is exactly the rank a single-scheduler run would
+  /// have assigned; this call does not touch the local counters.
+  EventId schedule_at_imported(std::uint32_t origin, std::uint64_t rank, Time birth,
+                               Time at, Callback cb) {
+    if (birth > at)
+      throw std::invalid_argument("Scheduler: event born after its own fire time");
+    return arm_with_rank(at, Time::zero(), 1, std::move(cb), birth, origin, rank);
+  }
+
+  /// Consume and return the next rank of `origin`'s tie-break stream
+  /// without scheduling anything — used by cross-partition staging, which
+  /// draws the rank on the source scheduler but arms the event later on the
+  /// destination's (schedule_at_imported).
+  std::uint64_t draw_rank(std::uint32_t origin) {
+    if (origin >= next_rank_.size()) next_rank_.resize(origin + 1, 1);
+    return next_rank_[origin]++;
+  }
+
+  /// Pre-size the per-origin rank counters so ranked scheduling for origins
+  /// < `count` never allocates on the hot path. The builder calls this with
+  /// node_count + 1 on every partition's scheduler.
+  void reserve_origins(std::size_t count) {
+    if (count > next_rank_.size()) next_rank_.resize(count, 1);
   }
 
   /// Schedule an event *train*: `cb` fires `count` times, at `start`,
@@ -161,17 +205,22 @@ class Scheduler {
     std::uint64_t seq{0};
     std::uint64_t remaining{0};
     std::uint32_t gen{1};
+    std::uint32_t origin{0};
     bool armed{false};
   };
   struct Later {
     bool operator()(const EventEntry& a, const EventEntry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      if (a.birth != b.birth) return a.birth > b.birth;
-      return a.seq > b.seq;
+      // Shared with the calendar backend; see event_entry_before for the
+      // tie-break rationale (hashed tagged streams, legacy sequence for
+      // the untagged stream).
+      return event_entry_before(b, a);
     }
   };
 
-  EventId arm(Time at, Time stride, std::uint64_t count, Callback cb, Time birth);
+  EventId arm(Time at, Time stride, std::uint64_t count, Callback cb, Time birth,
+              std::uint32_t origin);
+  EventId arm_with_rank(Time at, Time stride, std::uint64_t count, Callback cb, Time birth,
+                        std::uint32_t origin, std::uint64_t rank);
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t index);
   void push_entry(const EventEntry& entry);
@@ -189,7 +238,9 @@ class Scheduler {
   QueueBackend backend_{QueueBackend::kBinaryHeap};
   std::size_t live_{0};
   Time now_{Time::zero()};
-  std::uint64_t next_seq_{1};
+  /// Per-origin insertion-rank counters; element 0 (always present) is the
+  /// default stream and behaves exactly like the old global sequence.
+  std::vector<std::uint64_t> next_rank_ = std::vector<std::uint64_t>(1, 1);
   std::uint64_t executed_{0};
   bool stop_requested_{false};
 };

@@ -66,6 +66,16 @@ class CongestionControl {
   /// window are counted but produce no further reduction).
   virtual bool on_local_congestion() = 0;
 
+  /// ECN feedback: fires once per new cumulative ACK, before on_ack, when
+  /// the flow negotiated ECN. `acked_bytes` is the ACK's cumulative
+  /// advance and `ce_marked` its ECN-Echo bit (the receiver runs a
+  /// DCTCP-style echo, so the bit tracks the CE state of the acked data).
+  /// Default: ignore — loss-based algorithms simply never see marks.
+  virtual void on_ecn_feedback(std::uint32_t acked_bytes, bool ce_marked) {
+    (void)acked_bytes;
+    (void)ce_marked;
+  }
+
   /// True while the algorithm considers itself in slow-start (diagnostic;
   /// the sender records phase transitions through this).
   [[nodiscard]] virtual bool in_slow_start() const = 0;

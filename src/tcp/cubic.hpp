@@ -1,0 +1,131 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+#include "tcp/reno.hpp"
+
+namespace rss::tcp {
+
+/// CUBIC (Ha, Rhee & Xu; RFC 8312) — the default congestion control of
+/// modern Linux, and the mainstream answer to the large-BDP growth problem
+/// HighSpeed TCP attacked a few years after the paper's era. Window growth
+/// in congestion avoidance is a cubic of wall-clock time since the last
+/// reduction:
+///
+///   W_cubic(t) = C * (t - K)^3 + W_max,   K = cbrt(W_max * (1-beta) / C)
+///
+/// so the window races back toward W_max (the size where loss last
+/// occurred), plateaus there probing gently, then accelerates into unknown
+/// territory. Growth is clocked by time, not RTT, which is what makes
+/// CUBIC's convergence RTT-fair. The TCP-friendly estimate W_est keeps it
+/// no slower than Reno in short-RTT regimes (RFC 8312 §4.2).
+///
+/// Slow start, loss detection, and recovery mechanics are inherited from
+/// the Reno base; CUBIC changes the avoidance growth and the decrease
+/// factor (beta = 0.7, with fast convergence, §4.6).
+class CubicCongestionControl final : public RenoCongestionControl {
+ public:
+  struct CubicOptions {
+    double c{0.4};                ///< aggressiveness constant (RFC 8312 §5)
+    double beta{0.7};             ///< multiplicative decrease factor
+    bool fast_convergence{true};  ///< release bandwidth to newcomers (§4.6)
+    Options reno{};
+  };
+
+  CubicCongestionControl() = default;
+  explicit CubicCongestionControl(CubicOptions opt)
+      : RenoCongestionControl(opt.reno), copt_{opt} {}
+
+  void on_ack(std::uint32_t acked_bytes) override {
+    CcHost& h = host();
+    const auto mss = static_cast<double>(h.mss());
+    if (in_slow_start()) {
+      h.set_cwnd_bytes(h.cwnd_bytes() + std::min<double>(acked_bytes, mss));
+      return;
+    }
+
+    const sim::Time now = h.now();
+    // Srtt is zero only before the first sample; anything in congestion
+    // avoidance has taken samples, but guard the division anyway.
+    const double srtt_s = std::max(h.srtt().to_seconds(), 1e-4);
+    const double cwnd_seg = h.cwnd_bytes() / mss;
+
+    if (epoch_start_ == sim::Time::zero()) {
+      // New avoidance epoch (first ACK after a reduction): anchor the
+      // cubic's origin. Below W_max we re-approach it in K seconds; at or
+      // above it the plateau starts here.
+      epoch_start_ = now;
+      if (cwnd_seg < w_max_) {
+        k_ = std::cbrt(w_max_ * (1.0 - copt_.beta) / copt_.c);
+      } else {
+        k_ = 0.0;
+        w_max_ = cwnd_seg;
+      }
+      w_est_ = cwnd_seg;
+    }
+
+    // TCP-friendly region: the average Reno window under beta-decrease
+    // grows 3(1-beta)/(1+beta) segments per RTT (RFC 8312 §4.2).
+    w_est_ += 3.0 * (1.0 - copt_.beta) / (1.0 + copt_.beta) *
+              static_cast<double>(acked_bytes) / h.cwnd_bytes();
+
+    const double t = (now - epoch_start_).to_seconds() + srtt_s;
+    const double d = t - k_;
+    const double w_cubic = copt_.c * d * d * d + w_max_;
+    const double target = std::max(w_cubic, w_est_);
+    if (target > cwnd_seg) {
+      // (target - cwnd)/cwnd segments per ACK == target reached in one RTT.
+      h.set_cwnd_bytes(h.cwnd_bytes() + mss * (target - cwnd_seg) / cwnd_seg);
+    }
+  }
+
+  void on_fast_retransmit() override {
+    CcHost& h = host();
+    const auto mss = static_cast<double>(h.mss());
+    const double cwnd_seg = h.cwnd_bytes() / mss;
+    // Fast convergence: a loss *below* the previous W_max means a new flow
+    // is taking its share — release extra room by remembering less.
+    if (copt_.fast_convergence && cwnd_seg < w_max_) {
+      w_max_ = cwnd_seg * (2.0 - copt_.beta) / 2.0;
+    } else {
+      w_max_ = cwnd_seg;
+    }
+    epoch_start_ = sim::Time::zero();
+    h.set_ssthresh_bytes(std::max(h.cwnd_bytes() * copt_.beta, 2.0 * mss));
+  }
+
+  void on_retransmit_timeout() override {
+    CcHost& h = host();
+    const auto mss = static_cast<double>(h.mss());
+    w_max_ = h.cwnd_bytes() / mss;
+    epoch_start_ = sim::Time::zero();
+    h.set_ssthresh_bytes(std::max(h.cwnd_bytes() * copt_.beta, 2.0 * mss));
+    h.set_cwnd_bytes(mss);  // RFC 5681 §3.1: LW = 1 SMSS
+  }
+
+  bool on_local_congestion() override {
+    CcHost& h = host();
+    if (!cwr_allowed()) return false;
+    const auto mss = static_cast<double>(h.mss());
+    w_max_ = h.cwnd_bytes() / mss;
+    epoch_start_ = sim::Time::zero();
+    const double target = std::max(h.cwnd_bytes() * copt_.beta, 2.0 * mss);
+    h.set_ssthresh_bytes(target);
+    h.set_cwnd_bytes(target);
+    return true;
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "cubic"; }
+
+ private:
+  CubicOptions copt_{};
+  double w_max_{0.0};  ///< segments; window size at the last reduction
+  double k_{0.0};      ///< seconds to return to w_max_
+  double w_est_{0.0};  ///< TCP-friendly Reno estimate, segments
+  sim::Time epoch_start_{sim::Time::zero()};
+};
+
+}  // namespace rss::tcp

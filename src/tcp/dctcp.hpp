@@ -1,0 +1,86 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+
+#include "tcp/reno.hpp"
+
+namespace rss::tcp {
+
+/// DCTCP — Data Center TCP (Alizadeh et al., RFC 8257). Pairs with a
+/// shallow step-marking queue (PacketQueue::set_ecn_step_threshold): the
+/// switch CE-marks every ECT packet above a small occupancy, the receiver
+/// echoes the marks byte-accurately, and the sender scales its window cut
+/// by the *fraction* of marked bytes instead of halving on any signal:
+///
+///   alpha <- (1 - g) * alpha + g * F        once per observation window
+///   cwnd  <- cwnd * (1 - alpha / 2)         once per window with marks
+///
+/// where F is the marked-byte fraction of the window (~one RTT). A fully
+/// marked window behaves like Reno's halving; sparse marks shave the
+/// window gently, which is what keeps throughput at near-empty queues.
+///
+/// Loss handling (dupacks, RTO, send-stalls) is inherited from Reno —
+/// exactly as RFC 8257 §3.3 prescribes: DCTCP only changes the reaction
+/// to ECN marks.
+class DctcpCongestionControl final : public RenoCongestionControl {
+ public:
+  struct Options {
+    RenoCongestionControl::Options reno{};
+    double gain{1.0 / 16.0};     ///< g — EWMA gain for alpha (RFC 8257 §4.2)
+    double initial_alpha{1.0};   ///< conservative start: first mark halves
+    /// Observation-window fallback before the first RTT sample.
+    sim::Time fallback_window{sim::Time::milliseconds(200)};
+  };
+
+  DctcpCongestionControl() : DctcpCongestionControl(Options{}) {}
+  explicit DctcpCongestionControl(Options opt)
+      : RenoCongestionControl(opt.reno), dopt_{opt}, alpha_{opt.initial_alpha} {}
+
+  void on_ecn_feedback(std::uint32_t acked_bytes, bool ce_marked) override {
+    acked_window_ += acked_bytes;
+    if (ce_marked) marked_window_ += acked_bytes;
+
+    CcHost& h = host();
+    const sim::Time now = h.now();
+    if (window_end_ == sim::Time::zero()) window_end_ = now + observation_window();
+    if (now >= window_end_) {
+      const double f = acked_window_ > 0
+                           ? static_cast<double>(marked_window_) /
+                                 static_cast<double>(acked_window_)
+                           : 0.0;
+      alpha_ = (1.0 - dopt_.gain) * alpha_ + dopt_.gain * f;
+      acked_window_ = 0;
+      marked_window_ = 0;
+      window_end_ = now + observation_window();
+    }
+
+    if (ce_marked && now >= next_cut_at_) {
+      // One multiplicative cut per window; ssthresh follows so the
+      // algorithm does not re-enter slow start after the reduction.
+      const double target = h.cwnd_bytes() * (1.0 - alpha_ / 2.0);
+      h.set_ssthresh_bytes(target);
+      h.set_cwnd_bytes(target);
+      next_cut_at_ = now + observation_window();
+    }
+  }
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] std::string_view name() const override { return "dctcp"; }
+
+ private:
+  [[nodiscard]] sim::Time observation_window() const {
+    const sim::Time srtt = host().srtt();
+    return srtt > sim::Time::zero() ? srtt : dopt_.fallback_window;
+  }
+
+  Options dopt_{};
+  double alpha_{1.0};
+  std::uint64_t acked_window_{0};
+  std::uint64_t marked_window_{0};
+  sim::Time window_end_{sim::Time::zero()};
+  sim::Time next_cut_at_{sim::Time::zero()};
+};
+
+}  // namespace rss::tcp

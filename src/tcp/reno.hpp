@@ -53,11 +53,7 @@ class RenoCongestionControl : public CongestionControl {
 
   bool on_local_congestion() override {
     CcHost& h = host();
-    if (opt_.rate_limit_local_congestion) {
-      const sim::Time guard = h.srtt().is_zero() ? sim::Time::milliseconds(200) : h.srtt();
-      if (last_cwr_ > sim::Time::zero() && h.now() < last_cwr_ + guard) return false;
-      last_cwr_ = h.now();
-    }
+    if (!cwr_allowed()) return false;
     // Linux 2.4 tcp_enter_cwr: treat exactly like network congestion.
     const double mss2 = 2.0 * static_cast<double>(h.mss());
     const double target = std::max(h.cwnd_bytes() / 2.0, mss2);
@@ -73,6 +69,18 @@ class RenoCongestionControl : public CongestionControl {
   [[nodiscard]] std::string_view name() const override { return "reno"; }
 
  protected:
+  /// Linux `tcp_enter_cwr` rate limit, shared by every Reno-family
+  /// algorithm: at most one local-congestion reaction per SRTT. Returns
+  /// true when a reduction may proceed (and stamps the CWR clock).
+  bool cwr_allowed() {
+    if (!opt_.rate_limit_local_congestion) return true;
+    CcHost& h = host();
+    const sim::Time guard = h.srtt().is_zero() ? sim::Time::milliseconds(200) : h.srtt();
+    if (last_cwr_ > sim::Time::zero() && h.now() < last_cwr_ + guard) return false;
+    last_cwr_ = h.now();
+    return true;
+  }
+
   void set_ssthresh_to_half_flight() {
     CcHost& h = host();
     const double half_flight = static_cast<double>(h.flight_size_bytes()) / 2.0;

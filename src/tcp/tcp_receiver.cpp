@@ -16,6 +16,17 @@ void TcpReceiver::on_packet(const net::Packet& p) {
   if (!p.is_data()) return;  // receiver side only consumes data segments
   ++packets_received_;
 
+  if (opt_.ecn) {
+    if (p.ce) ++ce_received_;
+    if (p.ce != ce_state_) {
+      // RFC 8257 §3.2: a CE-state change first flushes an immediate ACK
+      // carrying the *old* state, so the sender can attribute every acked
+      // byte to the right mark state; subsequent ACKs echo the new state.
+      send_ack();
+      ce_state_ = p.ce;
+    }
+  }
+
   const SeqNum seq{p.tcp.seq};
   const SeqNum seg_end = seq + p.payload_bytes;
 
@@ -86,6 +97,7 @@ void TcpReceiver::send_ack() {
   ack.tcp.is_ack = true;
   ack.tcp.ack = rcv_nxt_.raw();
   ack.tcp.advertised_window = opt_.advertised_window;
+  ack.tcp.ece = opt_.ecn && ce_state_;
   if (opt_.enable_sack && !ooo_.empty()) fill_sack_blocks(ack.tcp);
   // An ACK rejected by the local IFQ is simply lost; cumulative ACKs are
   // self-repairing, so no further action is needed.

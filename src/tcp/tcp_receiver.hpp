@@ -34,6 +34,11 @@ class TcpReceiver {
     /// connection ramped — it roughly doubles the early slow-start ACK
     /// clock. 0 disables.
     std::uint64_t quickack_segments{0};
+    /// Echo CE marks back to the sender using the DCTCP discipline (RFC
+    /// 8257 §3.2): every ACK carries the CE state of the data it covers,
+    /// and a CE-state *change* forces an immediate ACK carrying the old
+    /// state so the sender's mark accounting stays byte-accurate.
+    bool ecn{false};
   };
 
   TcpReceiver(sim::Simulation& simulation, net::Node& node, Options options);
@@ -46,6 +51,7 @@ class TcpReceiver {
   [[nodiscard]] std::uint64_t out_of_order_packets() const { return out_of_order_; }
   [[nodiscard]] std::uint64_t duplicate_packets() const { return duplicates_; }
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::uint64_t ce_received() const { return ce_received_; }
   [[nodiscard]] SeqNum rcv_nxt() const { return rcv_nxt_; }
 
  private:
@@ -71,6 +77,10 @@ class TcpReceiver {
   std::uint64_t out_of_order_{0};
   std::uint64_t duplicates_{0};
   std::uint64_t acks_sent_{0};
+  std::uint64_t ce_received_{0};
+  /// CE state of the most recent data arrival — the bit every outgoing ACK
+  /// echoes while the ecn option is on (DCTCP state machine).
+  bool ce_state_{false};
   int unacked_arrivals_{0};
   sim::EventId delack_timer_{};
   net::PacketUidSource uid_source_;

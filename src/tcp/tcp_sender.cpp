@@ -98,6 +98,7 @@ bool TcpSender::send_segment(std::uint64_t offset, std::uint32_t len, bool retra
   p.flow_id = opt_.flow_id;
   p.dst_node = opt_.dst_node;
   p.payload_bytes = len;
+  p.ect = opt_.ecn;  // data is ECT when the flow negotiated ECN
   p.tcp.seq = seq_of(offset).raw();
 
   const auto result = node_.send(p);
@@ -254,9 +255,18 @@ void TcpSender::sack_recovery_send() {
   }
 }
 
-void TcpSender::handle_new_ack(std::uint64_t ack_offset, const net::Packet&) {
+void TcpSender::handle_new_ack(std::uint64_t ack_offset, const net::Packet& p) {
   const std::uint64_t bytes = ack_offset - acked_offset_;
   mib_.ThruBytesAcked += bytes;
+
+  if (opt_.ecn) {
+    // ECN feedback reaches the algorithm on every new ACK — including
+    // inside recovery, where DCTCP keeps integrating its mark fraction.
+    cc_->on_ecn_feedback(
+        static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(bytes, std::numeric_limits<std::uint32_t>::max())),
+        p.tcp.ece);
+  }
 
   if (timed_segment_ && ack_offset > timed_segment_->first) {
     rtt_.add_sample(sim_.now() - timed_segment_->second);

@@ -57,6 +57,11 @@ class TcpSender final : public CcHost {
     bool cwnd_validation{false};
     bool trace_cwnd{false};   ///< record (t, cwnd) into cwnd_trace()
     bool trace_stalls{false}; ///< record (t, cumulative stalls) into stall_trace()
+    /// Negotiate ECN (RFC 3168): data segments leave ECT-marked so AQM
+    /// queues may CE-mark instead of dropping, and the receiver's ECN-Echo
+    /// feeds CongestionControl::on_ecn_feedback on every new ACK. The peer
+    /// receiver must have its ecn option set too.
+    bool ecn{false};
   };
 
   /// `node` must outlive the sender. The sender registers itself as the

@@ -131,10 +131,11 @@ TEST(AllocGuard, SteadyStatePartitionWindowLoopIsAllocFree) {
     Simulation* sim{nullptr};
     std::uint64_t delivered{0};
 
-    static void deliver(void* self, const std::byte* payload, Time at, Time staged_at) {
+    static void deliver(void* self, const std::byte* payload, Time at, Time staged_at,
+                        std::uint32_t origin, std::uint64_t rank) {
       (void)payload;
       auto* c = static_cast<Counter*>(self);
-      c->sim->at_from(staged_at, at, [c] { ++c->delivered; });
+      c->sim->at_imported(origin, rank, staged_at, at, [c] { ++c->delivered; });
     }
   };
 
@@ -150,7 +151,8 @@ TEST(AllocGuard, SteadyStatePartitionWindowLoopIsAllocFree) {
     for (int i = 0; i < windows; ++i) {
       a.at(start + Time::microseconds(i * 100), [&] {
         const std::uint64_t tag = 0;
-        ab.stage(a.now() + 100_us, a.now(), &counter, &Counter::deliver, tag);
+        ab.stage(a.now() + 100_us, a.now(), 0, a.scheduler().draw_rank(0), &counter,
+                 &Counter::deliver, tag);
       });
     }
     horizon = start + Time::microseconds(windows * 100 + 200);

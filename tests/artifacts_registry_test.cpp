@@ -41,10 +41,10 @@ TEST(BuiltinExperiments, CatalogueIsCompleteAndIdempotent) {
   ExperimentRegistry reg;
   register_builtin_experiments(reg);
   const std::vector<std::string> expected{
-      "fig1_send_stalls", "tab1_throughput",  "abl_aqm",        "abl_ifq_size",
-      "abl_pid_gains",    "abl_rtt",          "abl_sampling",   "abl_setpoint",
-      "ext_fairness",     "ext_hybrid_fluid", "ext_parkinglot", "ext_sack",
-      "ext_specdriven",   "ext_tuning",       "ext_variants",
+      "fig1_send_stalls", "tab1_throughput",  "abl_aqm",       "abl_ifq_size",
+      "abl_pid_gains",    "abl_rtt",          "abl_sampling",  "abl_setpoint",
+      "ext_fairness",     "ext_hybrid_fluid", "ext_modern_cc", "ext_parkinglot",
+      "ext_sack",         "ext_specdriven",   "ext_tuning",    "ext_variants",
   };
   EXPECT_EQ(reg.names(), expected);
 

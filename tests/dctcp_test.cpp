@@ -1,0 +1,158 @@
+#include "tcp/dctcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rss::tcp {
+namespace {
+
+using namespace rss::sim::literals;
+
+/// Minimal CcHost for exercising congestion-control algorithms in
+/// isolation from the sender machinery.
+class MockHost final : public CcHost {
+ public:
+  double cwnd{0};
+  double ssthresh{0};
+  std::uint32_t mss_v{1460};
+  std::uint64_t flight{0};
+  sim::Time now_v{sim::Time::zero()};
+  std::size_t ifq_occ{0};
+  std::size_t ifq_cap{100};
+  sim::Time srtt_v{60_ms};
+
+  [[nodiscard]] double cwnd_bytes() const override { return cwnd; }
+  void set_cwnd_bytes(double c) override { cwnd = c; }
+  [[nodiscard]] double ssthresh_bytes() const override { return ssthresh; }
+  void set_ssthresh_bytes(double s) override { ssthresh = s; }
+  [[nodiscard]] std::uint32_t mss() const override { return mss_v; }
+  [[nodiscard]] std::uint64_t flight_size_bytes() const override { return flight; }
+  [[nodiscard]] sim::Time now() const override { return now_v; }
+  [[nodiscard]] std::size_t ifq_occupancy_packets() const override { return ifq_occ; }
+  [[nodiscard]] std::size_t ifq_capacity_packets() const override { return ifq_cap; }
+  [[nodiscard]] sim::Time srtt() const override { return srtt_v; }
+};
+
+constexpr std::uint32_t kSeg = 1460;
+
+/// Feed one srtt-long observation window of 10 single-segment ACKs,
+/// marking the segments whose position satisfies `marked`.
+template <typename Pred>
+void feed_window(MockHost& host, DctcpCongestionControl& cc, int window, Pred marked) {
+  for (int k = 0; k < 10; ++k) {
+    host.now_v = sim::Time::milliseconds(window * 60) + sim::Time::milliseconds(k);
+    cc.on_ecn_feedback(kSeg, marked(k));
+  }
+}
+
+TEST(DctcpTest, StartsConservativeAndNamed) {
+  MockHost host;
+  DctcpCongestionControl dctcp;
+  dctcp.attach(host);
+  EXPECT_DOUBLE_EQ(dctcp.alpha(), 1.0);
+  EXPECT_EQ(dctcp.name(), "dctcp");
+  // Loss machinery is Reno's: attach gives the same initial window.
+  EXPECT_DOUBLE_EQ(host.cwnd, 2.0 * kSeg);
+}
+
+TEST(DctcpTest, FirstMarkHalvesLikeRenoAndSsthreshFollows) {
+  MockHost host;
+  DctcpCongestionControl dctcp;
+  dctcp.attach(host);
+  host.cwnd = 100.0 * kSeg;
+  host.ssthresh = 1e9;
+  // alpha starts at 1.0, so the very first mark cuts by (1 - 1/2) = half.
+  dctcp.on_ecn_feedback(kSeg, true);
+  EXPECT_DOUBLE_EQ(host.cwnd, 50.0 * kSeg);
+  EXPECT_DOUBLE_EQ(host.ssthresh, host.cwnd);
+}
+
+TEST(DctcpTest, CutsAtMostOncePerObservationWindow) {
+  MockHost host;
+  DctcpCongestionControl dctcp;
+  dctcp.attach(host);
+  host.cwnd = 100.0 * kSeg;
+
+  dctcp.on_ecn_feedback(kSeg, true);  // t = 0: cut
+  const double after_first = host.cwnd;
+  host.now_v = 1_ms;
+  dctcp.on_ecn_feedback(kSeg, true);  // same window: no further cut
+  host.now_v = 30_ms;
+  dctcp.on_ecn_feedback(kSeg, true);
+  EXPECT_DOUBLE_EQ(host.cwnd, after_first);
+
+  host.now_v = 60_ms;  // one srtt later: next window, cut allowed again
+  dctcp.on_ecn_feedback(kSeg, true);
+  EXPECT_LT(host.cwnd, after_first);
+}
+
+TEST(DctcpTest, AlphaConvergesToTheMarkedByteFraction) {
+  MockHost host;
+  DctcpCongestionControl dctcp;
+  dctcp.attach(host);
+  host.cwnd = 100.0 * kSeg;
+  // 3 of 10 segments marked in every window, marks at the window's tail.
+  // alpha must decay from its conservative 1.0 start to the stream's true
+  // marked fraction; 200 windows >> the EWMA time constant (1/g = 16).
+  for (int w = 0; w < 200; ++w) {
+    feed_window(host, dctcp, w, [](int k) { return k >= 7; });
+  }
+  EXPECT_NEAR(dctcp.alpha(), 0.3, 0.02);
+}
+
+TEST(DctcpTest, AlphaTracksSquareWaveMarkingAroundItsMean) {
+  MockHost host;
+  DctcpCongestionControl dctcp;
+  dctcp.attach(host);
+  host.cwnd = 100.0 * kSeg;
+  // Square wave: windows alternate fully marked / fully clean. The EWMA
+  // should settle into a small oscillation around the 50% duty cycle, far
+  // from both rails.
+  for (int w = 0; w < 200; ++w) {
+    const bool hot = (w % 2) == 0;
+    feed_window(host, dctcp, w, [hot](int) { return hot; });
+  }
+  const double settled = dctcp.alpha();
+  EXPECT_GT(settled, 0.40);
+  EXPECT_LT(settled, 0.60);
+  // One more full cycle stays inside the same band: it oscillates, it does
+  // not drift.
+  feed_window(host, dctcp, 200, [](int) { return true; });
+  feed_window(host, dctcp, 201, [](int) { return false; });
+  EXPECT_GT(dctcp.alpha(), 0.40);
+  EXPECT_LT(dctcp.alpha(), 0.60);
+}
+
+TEST(DctcpTest, AlphaDecaysToZeroWithoutMarks) {
+  MockHost host;
+  DctcpCongestionControl dctcp;
+  dctcp.attach(host);
+  host.cwnd = 100.0 * kSeg;
+  const double before = host.cwnd;
+  for (int w = 0; w < 200; ++w) {
+    feed_window(host, dctcp, w, [](int) { return false; });
+  }
+  EXPECT_LT(dctcp.alpha(), 0.01);
+  EXPECT_DOUBLE_EQ(host.cwnd, before);  // no marks, no cuts
+}
+
+TEST(DctcpTest, SparseMarksShaveGentlyOnceAlphaIsSmall) {
+  MockHost host;
+  DctcpCongestionControl dctcp;
+  dctcp.attach(host);
+  host.cwnd = 100.0 * kSeg;
+  // Drive alpha down to ~0.1 (1 of 10 segments marked), then measure the
+  // cut: it should shave ~alpha/2 = ~5%, nothing like Reno's halving.
+  for (int w = 0; w < 200; ++w) {
+    feed_window(host, dctcp, w, [](int k) { return k == 9; });
+  }
+  ASSERT_NEAR(dctcp.alpha(), 0.1, 0.02);
+  const double before = host.cwnd;
+  host.now_v = sim::Time::milliseconds(201 * 60);
+  dctcp.on_ecn_feedback(kSeg, true);
+  const double cut_fraction = 1.0 - host.cwnd / before;
+  EXPECT_GT(cut_fraction, 0.03);
+  EXPECT_LT(cut_fraction, 0.08);
+}
+
+}  // namespace
+}  // namespace rss::tcp

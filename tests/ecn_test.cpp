@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "net/codel.hpp"
+#include "net/queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace rss::net {
+namespace {
+
+Packet make_packet(std::uint64_t uid, bool ect) {
+  Packet p;
+  p.uid = uid;
+  p.payload_bytes = 1460;
+  p.ect = ect;
+  return p;
+}
+
+TEST(EcnStepMarkTest, MarksEctPacketsAtOrAboveThreshold) {
+  DropTailQueue q{10};
+  q.set_ecn_step_threshold(5);
+  for (std::uint64_t i = 1; i <= 10; ++i) ASSERT_TRUE(q.enqueue(make_packet(i, true)));
+  // Pre-admission occupancy 0..4 is below the step; 5..9 is at/above it.
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    const auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->ce, i > 5) << "packet " << i;
+  }
+  EXPECT_EQ(q.stats().ce_marked, 5u);
+  EXPECT_EQ(q.stats().dropped, 0u);
+}
+
+TEST(EcnStepMarkTest, NeverMarksNonEctPackets) {
+  DropTailQueue q{10};
+  q.set_ecn_step_threshold(1);
+  for (std::uint64_t i = 1; i <= 10; ++i) ASSERT_TRUE(q.enqueue(make_packet(i, false)));
+  while (const auto p = q.dequeue()) EXPECT_FALSE(p->ce);
+  EXPECT_EQ(q.stats().ce_marked, 0u);
+}
+
+TEST(EcnStepMarkTest, ZeroThresholdDisablesTheStep) {
+  DropTailQueue q{10};
+  for (std::uint64_t i = 1; i <= 10; ++i) ASSERT_TRUE(q.enqueue(make_packet(i, true)));
+  while (const auto p = q.dequeue()) EXPECT_FALSE(p->ce);
+  EXPECT_EQ(q.stats().ce_marked, 0u);
+}
+
+TEST(EcnStepMarkTest, VirtualBacklogCountsTowardTheStep) {
+  DropTailQueue q{100};
+  q.set_ecn_step_threshold(20);
+  // Empty real queue, but a 30-packet fluid backlog: the admission sees the
+  // combined pressure and marks immediately.
+  q.set_virtual_backlog(30, 30 * 1460);
+  ASSERT_TRUE(q.enqueue(make_packet(1, true)));
+  const auto p = q.dequeue();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->ce);
+}
+
+TEST(EcnRedTest, EarlyDecisionsMarkEctInsteadOfDropping) {
+  // Instantaneous averaging and a certain drop probability make every
+  // admission inside the [min, max) band an early decision.
+  RedQueue::Options opt;
+  opt.capacity_packets = 50;
+  opt.min_threshold = 2.0;
+  opt.max_threshold = 20.0;
+  opt.max_drop_probability = 1.0;
+  opt.queue_weight = 1.0;
+  RedQueue q{opt, sim::Rng{42}};
+
+  std::uint64_t admitted = 0;
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    if (q.enqueue(make_packet(i, true))) ++admitted;
+    if (q.size_packets() > 10) (void)q.dequeue();  // hold occupancy in-band
+  }
+  EXPECT_EQ(admitted, 200u);  // every early decision became a mark
+  EXPECT_GT(q.early_drops(), 0u);
+  EXPECT_GT(q.stats().ce_marked, 0u);
+  EXPECT_EQ(q.stats().dropped, 0u);
+  EXPECT_EQ(q.forced_drops(), 0u);
+}
+
+TEST(EcnRedTest, SameBandDropsNonEctTraffic) {
+  RedQueue::Options opt;
+  opt.capacity_packets = 50;
+  opt.min_threshold = 2.0;
+  opt.max_threshold = 20.0;
+  opt.max_drop_probability = 1.0;
+  opt.queue_weight = 1.0;
+  RedQueue q{opt, sim::Rng{42}};
+
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    (void)q.enqueue(make_packet(i, false));
+    if (q.size_packets() > 10) (void)q.dequeue();
+  }
+  EXPECT_GT(q.stats().dropped, 0u);
+  EXPECT_EQ(q.stats().ce_marked, 0u);
+}
+
+TEST(EcnRedTest, ForcedDecisionsDropEvenEctPackets) {
+  // Past max_threshold the average signals genuine overload: ECT stops
+  // being a shield and the packet is lost like any other.
+  RedQueue::Options opt;
+  opt.capacity_packets = 50;
+  opt.min_threshold = 2.0;
+  opt.max_threshold = 10.0;
+  opt.max_drop_probability = 1.0;
+  opt.queue_weight = 1.0;
+  RedQueue q{opt, sim::Rng{42}};
+
+  bool saw_rejection = false;
+  for (std::uint64_t i = 1; i <= 50 && !saw_rejection; ++i) {
+    saw_rejection = !q.enqueue(make_packet(i, true));
+  }
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_GT(q.forced_drops(), 0u);
+  EXPECT_GT(q.stats().dropped, 0u);
+}
+
+TEST(EcnCapacityBoundaryTest, FullQueueDropsEctOnEveryDiscipline) {
+  // Hard capacity is not negotiable: ECT earns a mark only while there is
+  // still room to admit the packet.
+  DropTailQueue droptail{4};
+  for (std::uint64_t i = 1; i <= 4; ++i) ASSERT_TRUE(droptail.enqueue(make_packet(i, true)));
+  EXPECT_FALSE(droptail.enqueue(make_packet(5, true)));
+  EXPECT_EQ(droptail.stats().dropped, 1u);
+
+  RedQueue::Options opt;
+  opt.capacity_packets = 4;
+  opt.min_threshold = 100.0;  // disarm early decisions; only hard full acts
+  opt.max_threshold = 200.0;
+  RedQueue red{opt, sim::Rng{7}};
+  for (std::uint64_t i = 1; i <= 4; ++i) ASSERT_TRUE(red.enqueue(make_packet(i, true)));
+  EXPECT_FALSE(red.enqueue(make_packet(5, true)));
+  EXPECT_EQ(red.stats().dropped, 1u);
+
+  sim::Simulation sim{1};
+  CodelQueue codel{{.capacity_packets = 4}, sim};
+  for (std::uint64_t i = 1; i <= 4; ++i) ASSERT_TRUE(codel.enqueue(make_packet(i, true)));
+  EXPECT_FALSE(codel.enqueue(make_packet(5, true)));
+  EXPECT_EQ(codel.stats().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace rss::net

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "scenario/builder.hpp"
+#include "scenario/cc_factories.hpp"
+#include "scenario/spec_io.hpp"
+#include "scenario/topology.hpp"
+
+namespace rss::scenario::spec {
+namespace {
+
+using namespace rss::sim::literals;
+using Code = SpecError::Code;
+
+/// The thrown SpecError's code, or nullopt when `fn` doesn't throw it.
+template <typename Fn>
+std::optional<Code> spec_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const SpecError& e) {
+    return e.code();
+  }
+  return std::nullopt;
+}
+
+[[nodiscard]] std::string one_flow_spec(const std::string& flow_extra,
+                                        const std::string& dev_extra = "") {
+  std::string dev = dev_extra.empty() ? "{}" : "{" + dev_extra + "}";
+  return R"({
+    "nodes": ["a", "b"],
+    "links": [{"a": "a", "b": "b", "a_dev": )" +
+         dev + R"(}],
+    "flows": [{"src": "a", "dst": "b")" +
+         (flow_extra.empty() ? "" : ", " + flow_extra) + R"(}]
+  })";
+}
+
+/// serialize(parse(text)) must be a fixed point of parse ∘ serialize.
+void expect_round_trip(const std::string& text) {
+  const std::string once = serialize_scenario_spec(parse_scenario_spec(text));
+  EXPECT_EQ(serialize_scenario_spec(parse_scenario_spec(once)), once) << text;
+}
+
+TEST(ModernSpecTest, EveryRegisteredCcNameParsesAndRoundTrips) {
+  for (const std::string& cc : variant_names()) {
+    const std::string text = one_flow_spec("\"cc\": \"" + cc + "\"");
+    const ScenarioSpec s = parse_scenario_spec(text);
+    EXPECT_EQ(s.flow_cc[0], cc);
+    // The name the parser accepted must resolve to a live factory.
+    EXPECT_NE(factory_by_name(cc)(), nullptr);
+    expect_round_trip(text);
+  }
+}
+
+TEST(ModernSpecTest, EveryQdiscParsesAndRoundTrips) {
+  const ScenarioSpec dt = parse_scenario_spec(one_flow_spec("", R"("qdisc": "droptail")"));
+  EXPECT_EQ(dt.topology.links[0].a_dev.qdisc, QueueDiscipline::kDropTail);
+
+  const ScenarioSpec red = parse_scenario_spec(one_flow_spec(
+      "", R"("qdisc": "red", "red": {"min_threshold": 5, "max_threshold": 20})"));
+  EXPECT_EQ(red.topology.links[0].a_dev.qdisc, QueueDiscipline::kRed);
+
+  const ScenarioSpec codel = parse_scenario_spec(one_flow_spec("", R"("qdisc": "codel")"));
+  EXPECT_EQ(codel.topology.links[0].a_dev.qdisc, QueueDiscipline::kCodel);
+
+  expect_round_trip(one_flow_spec("", R"("qdisc": "droptail")"));
+  expect_round_trip(one_flow_spec(
+      "", R"("qdisc": "red", "red": {"min_threshold": 5, "max_threshold": 20})"));
+  expect_round_trip(one_flow_spec("", R"("qdisc": "codel")"));
+}
+
+TEST(ModernSpecTest, CodelOptionsParseAndRoundTrip) {
+  const std::string text = one_flow_spec(
+      "", R"("qdisc": "codel", "codel": {"target": "2ms", "interval": "50ms"})");
+  const ScenarioSpec s = parse_scenario_spec(text);
+  const DeviceSpec& dev = s.topology.links[0].a_dev;
+  EXPECT_EQ(dev.qdisc, QueueDiscipline::kCodel);
+  EXPECT_EQ(dev.codel.target, 2_ms);
+  EXPECT_EQ(dev.codel.interval, 50_ms);
+  expect_round_trip(text);
+}
+
+TEST(ModernSpecTest, EcnSurfaceParsesAndRoundTrips) {
+  const std::string text =
+      one_flow_spec(R"("cc": "dctcp", "ecn": true)", R"("ecn_threshold": 20)");
+  const ScenarioSpec s = parse_scenario_spec(text);
+  EXPECT_TRUE(s.topology.flows[0].ecn);
+  EXPECT_EQ(s.topology.links[0].a_dev.ecn_threshold, 20u);
+  expect_round_trip(text);
+}
+
+TEST(ModernSpecTest, DefaultsAreElidedFromSerializedForm) {
+  // A spec that never mentions the modern knobs must not grow them on the
+  // way out — byte-stability depends on serializing only non-defaults.
+  const std::string out = serialize_scenario_spec(parse_scenario_spec(one_flow_spec("")));
+  EXPECT_EQ(out.find("codel"), std::string::npos);
+  EXPECT_EQ(out.find("ecn"), std::string::npos);
+  EXPECT_EQ(out.find("qdisc"), std::string::npos);
+}
+
+TEST(ModernSpecTest, UnknownCcNameIsATypedError) {
+  EXPECT_EQ(spec_error_of([] {
+              (void)parse_scenario_spec(one_flow_spec(R"("cc": "bbrv9")"));
+            }),
+            Code::kBadValue);
+  // And the factory registry agrees with the parser about what exists.
+  EXPECT_THROW((void)factory_by_name("bbrv9"), std::invalid_argument);
+}
+
+TEST(ModernSpecTest, UnknownQdiscNameIsATypedError) {
+  EXPECT_EQ(spec_error_of([] {
+              (void)parse_scenario_spec(one_flow_spec("", R"("qdisc": "cake")"));
+            }),
+            Code::kBadValue);
+}
+
+TEST(ModernSpecTest, CodelOptionsRequireCodelQdisc) {
+  EXPECT_EQ(spec_error_of([] {
+              (void)parse_scenario_spec(one_flow_spec("", R"("codel": {"target": "2ms"})"));
+            }),
+            Code::kBadValue);
+  EXPECT_EQ(spec_error_of([] {
+              (void)parse_scenario_spec(
+                  one_flow_spec("", R"("qdisc": "red", "codel": {"target": "2ms"})"));
+            }),
+            Code::kBadValue);
+}
+
+TEST(ModernSpecTest, UnknownCodelFieldIsATypedError) {
+  EXPECT_EQ(spec_error_of([] {
+              (void)parse_scenario_spec(
+                  one_flow_spec("", R"("qdisc": "codel", "codel": {"targett": "2ms"})"));
+            }),
+            Code::kUnknownField);
+}
+
+TEST(ModernSpecTest, CubicOverCodelSpecBuildsAndRuns) {
+  // End-to-end smoke: the exact pairing the docs advertise — "cc": "cubic"
+  // on a "qdisc": "codel" bottleneck — must build and move real bytes.
+  const ScenarioSpec s = parse_scenario_spec(R"({
+    "nodes": ["a", "b"],
+    "links": [{"a": "a", "b": "b", "delay": "5ms",
+               "a_dev": {"rate": "10mbps", "qdisc": "codel"},
+               "b_dev": {"rate": "10mbps", "qdisc": "codel"}}],
+    "flows": [{"src": "a", "dst": "b", "cc": "cubic", "start": "0ms"}]
+  })");
+  check_scenario_spec(s);
+  auto built = ScenarioBuilder{s.topology}.build(factory_by_name(s.flow_cc[0]));
+  built->run_until(2_s);
+  EXPECT_GT(built->goodputs_mbps(sim::Time::zero(), 2_s)[0], 1.0);
+}
+
+}  // namespace
+}  // namespace rss::scenario::spec

@@ -86,10 +86,10 @@ struct Recorder {
   std::vector<sim::Time> delivered;
 
   static void deliver(void* self, const std::byte* payload, sim::Time at,
-                      sim::Time staged_at) {
+                      sim::Time staged_at, std::uint32_t origin, std::uint64_t rank) {
     (void)payload;  // the tag only proves arbitrary payloads ride through
     auto* r = static_cast<Recorder*>(self);
-    r->sim->at_from(staged_at, at, [r, at] { r->delivered.push_back(at); });
+    r->sim->at_imported(origin, rank, staged_at, at, [r, at] { r->delivered.push_back(at); });
   }
 };
 
@@ -106,7 +106,8 @@ TEST(PartitionedEngine, WindowsRespectLookaheadAndDeliverHandoffs) {
   for (int i = 0; i < 50; ++i) {
     a.at(sim::Time::milliseconds(i), [&, i] {
       const std::uint64_t tag = static_cast<std::uint64_t>(i);
-      a_to_b.stage(a.now() + 10_ms, a.now(), &recorder, &Recorder::deliver, tag);
+      a_to_b.stage(a.now() + 10_ms, a.now(), 0, a.scheduler().draw_rank(0), &recorder,
+                   &Recorder::deliver, tag);
     });
   }
   engine.run_until(sim::Time::milliseconds(100));
@@ -134,11 +135,13 @@ TEST(PartitionedEngine, ThreadedRunMatchesSingleWorker) {
     for (int i = 0; i < 200; ++i) {
       a.at(sim::Time::microseconds(i * 7), [&] {
         const std::uint64_t tag = 1;
-        ab.stage(a.now() + 1_ms, a.now(), &to_b, &Recorder::deliver, tag);
+        ab.stage(a.now() + 1_ms, a.now(), 0, a.scheduler().draw_rank(0), &to_b,
+                 &Recorder::deliver, tag);
       });
       b.at(sim::Time::microseconds(i * 11), [&] {
         const std::uint64_t tag = 2;
-        ba.stage(b.now() + 1_ms, b.now(), &to_a, &Recorder::deliver, tag);
+        ba.stage(b.now() + 1_ms, b.now(), 0, b.scheduler().draw_rank(0), &to_a,
+                 &Recorder::deliver, tag);
       });
     }
     engine.run_until(sim::Time::milliseconds(20));
@@ -188,10 +191,10 @@ TEST(PartitionedEngine, HandoffStressRing) {
         const std::uint64_t tag = p;
         Recorder& fwd = recorders[(p + 1) % kParts];
         Recorder& back = recorders[(p + kParts - 1) % kParts];
-        next_hop[p]->stage(sims[p]->now() + 100_us, sims[p]->now(), &fwd,
-                           &Recorder::deliver, tag);
-        prev_hop[p]->stage(sims[p]->now() + 150_us, sims[p]->now(), &back,
-                           &Recorder::deliver, tag);
+        next_hop[p]->stage(sims[p]->now() + 100_us, sims[p]->now(), 0,
+                           sims[p]->scheduler().draw_rank(0), &fwd, &Recorder::deliver, tag);
+        prev_hop[p]->stage(sims[p]->now() + 150_us, sims[p]->now(), 0,
+                           sims[p]->scheduler().draw_rank(0), &back, &Recorder::deliver, tag);
       });
     }
   }
@@ -314,6 +317,21 @@ TEST(PartitionParity, Dumbbell) {
 
 TEST(PartitionParity, ParkingLot) {
   expect_partition_parity(scenario::ParkingLot::make_spec({}), 2, 2_s);
+}
+
+// Regression pin: this exact configuration (1-hop parking lot, 5 cross
+// flows, 100 Mbit/s access matching the bottleneck) broke 4-partition
+// parity when same-timestamp pops were ordered by raw insertion sequence —
+// identical access rates make exact delivery ties routine, and the
+// partitioned pop path resolved them by partition-local order. The shared
+// intrinsic (time, origin-hash) tie-break restored parity; keep it pinned.
+TEST(PartitionParity, ParkingLotFourWayWithSymmetricAccessRates) {
+  scenario::ParkingLot::Config cfg;
+  cfg.hops = 1;
+  cfg.cross_flows_per_hop = 5;
+  cfg.access_rate = net::DataRate::mbps(100);
+  cfg.bottleneck_rate = net::DataRate::mbps(100);
+  expect_partition_parity(scenario::ParkingLot::make_spec(cfg), 4, 2_s);
 }
 
 TEST(PartitionParity, MultiBottleneckChain) {

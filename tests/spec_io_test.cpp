@@ -219,7 +219,7 @@ TEST(ScenarioSpecTest, BadEnumValuesAreTyped) {
   EXPECT_EQ(spec_error_of([] {
               (void)parse_scenario_spec(R"({
                 "nodes": ["a", "b"],
-                "links": [{"a": "a", "b": "b", "a_dev": {"qdisc": "codel"}}]
+                "links": [{"a": "a", "b": "b", "a_dev": {"qdisc": "sfq"}}]
               })");
             }),
             Code::kBadValue);
